@@ -1,0 +1,31 @@
+(* Benchmark/experiment entry point.
+
+   Usage:
+     dune exec bench/main.exe              # every experiment + micro benches
+     dune exec bench/main.exe -- e2 e7     # selected experiments
+     dune exec bench/main.exe -- micro     # micro benchmarks only
+
+   Experiment ids follow DESIGN.md's index (e1..e16); each regenerates the
+   table validating one of the paper's theorems, and EXPERIMENTS.md records
+   the paper-claim vs measured comparison. *)
+
+let usage () =
+  print_endline "usage: main.exe [e1..e16|micro]...";
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Experiments.by_name;
+  print_endline "  micro"
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+      List.iter (fun e -> e ()) Experiments.all;
+      Micro.run ()
+  | _ :: args ->
+      List.iter
+        (fun arg ->
+          if arg = "micro" then Micro.run ()
+          else
+            match List.assoc_opt (String.lowercase_ascii arg) Experiments.by_name with
+            | Some e -> e ()
+            | None -> usage ())
+        args
+  | [] -> usage ()

@@ -1,0 +1,22 @@
+(* Small formatting helpers shared by the experiment harness. *)
+
+let banner title =
+  let line = String.make 78 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let subhead text =
+  Printf.printf "\n-- %s\n" text
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "   %s\n" s) fmt
+
+let row fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+(* Wall-clock timing of a thunk. *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (max 1 (List.length xs))
+
+let verdict ok = if ok then "ok" else "VIOLATED"

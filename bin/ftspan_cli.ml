@@ -1,0 +1,432 @@
+(* ftspan: command-line front end for the fault-tolerant spanner library.
+
+   Subcommands:
+     generate   write a graph from one of the workload families
+     info       print statistics of a graph file
+     build      construct a fault-tolerant spanner and report its summary
+     verify     check a spanner selection against sampled/exhaustive faults
+     local      run the LOCAL-model construction on the simulator
+     congest    run the CONGEST-model construction on the simulator *)
+
+open Cmdliner
+
+(* ------------------------- shared arguments ------------------------- *)
+
+let seed_arg =
+  let doc = "PRNG seed (all randomness in the tool is derived from it)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let k_arg =
+  let doc = "Stretch parameter: the spanner has stretch 2k-1." in
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc)
+
+let f_arg =
+  let doc = "Number of faults to tolerate." in
+  Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc)
+
+let mode_arg =
+  let doc = "Fault mode: $(b,vertex) (VFT) or $(b,edge) (EFT)." in
+  let enum_conv =
+    Arg.enum [ ("vertex", Fault.VFT); ("edge", Fault.EFT); ("vft", Fault.VFT); ("eft", Fault.EFT) ]
+  in
+  Arg.(value & opt enum_conv Fault.VFT & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let graph_arg =
+  let doc = "Input graph file (see ftspan generate for the format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+
+let load_graph file =
+  try Ok (Graph_io.load file) with Failure msg -> Error (`Msg msg)
+
+(* --------------------------- generate -------------------------------- *)
+
+let family_arg =
+  let doc =
+    "Graph family: gnp, gnm, complete, grid, torus, hypercube, geometric, \
+     ba (Barabasi-Albert), regular, cycle-chords, projective (incidence \
+     graph of PG(2,n), n prime), hard (BDPW18 lower-bound blow-up, n = \
+     plane order, extra = f)."
+  in
+  Arg.(value & opt string "gnp" & info [ "family" ] ~docv:"FAMILY" ~doc)
+
+let n_arg =
+  let doc = "Number of vertices (or side/dimension for structured families)." in
+  Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc)
+
+let p_arg =
+  let doc = "Edge probability / radius / density parameter." in
+  Arg.(value & opt float 0.1 & info [ "p" ] ~docv:"P" ~doc)
+
+let extra_arg =
+  let doc = "Secondary integer parameter (gnm edges, BA attachment, degree, chords)." in
+  Arg.(value & opt int 3 & info [ "extra" ] ~docv:"INT" ~doc)
+
+let weights_arg =
+  let doc = "Redraw edge weights uniformly from [LO,HI] (format LO,HI)." in
+  Arg.(value & opt (some (pair ~sep:',' float float)) None & info [ "weights" ] ~docv:"LO,HI" ~doc)
+
+let connect_arg =
+  let doc = "Add random edges until the graph is connected." in
+  Arg.(value & flag & info [ "connect" ] ~doc)
+
+let out_arg =
+  let doc = "Output file." in
+  Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let generate_cmd =
+  let run seed family n p extra weights connect out =
+    let rng = Rng.create ~seed in
+    let result =
+      match family with
+      | "gnp" -> Ok (Generators.gnp rng ~n ~p)
+      | "gnm" -> Ok (Generators.gnm rng ~n ~m:extra)
+      | "complete" -> Ok (Generators.complete n)
+      | "grid" -> Ok (Generators.grid ~rows:n ~cols:n)
+      | "torus" -> Ok (Generators.torus ~rows:n ~cols:n)
+      | "hypercube" -> Ok (Generators.hypercube ~dim:n)
+      | "geometric" -> Ok (Generators.random_geometric rng ~n ~radius:p ~euclidean_weights:true)
+      | "ba" -> Ok (Generators.barabasi_albert rng ~n ~attach:extra)
+      | "regular" -> Ok (Generators.random_regular rng ~n ~d:extra)
+      | "cycle-chords" -> Ok (Generators.cycle_with_chords rng ~n ~chords:extra)
+      | "projective" ->
+          (* n is the plane order q (prime) *)
+          (try Ok (Lower_bound.projective_plane_incidence ~q:n)
+           with Invalid_argument msg -> Error (`Msg msg))
+      | "hard" ->
+          (* the BDPW18 lower-bound instance: n = plane order, extra = f *)
+          (try
+             Ok
+               (Lower_bound.hard_instance ~f:extra
+                  (Lower_bound.projective_plane_incidence ~q:n))
+           with Invalid_argument msg -> Error (`Msg msg))
+      | other -> Error (`Msg (Printf.sprintf "unknown family %S" other))
+    in
+    match result with
+    | Error e -> Error e
+    | Ok g ->
+        let g = if connect then Generators.ensure_connected rng g else g in
+        let g =
+          match weights with
+          | Some (lo, hi) -> Generators.with_uniform_weights rng g ~lo ~hi
+          | None -> g
+        in
+        Graph_io.save g out;
+        Printf.printf "wrote %s: %s\n" out
+          (Format.asprintf "%a" Stats.pp (Stats.compute g));
+        Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ seed_arg $ family_arg $ n_arg $ p_arg $ extra_arg
+       $ weights_arg $ connect_arg $ out_arg))
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a workload graph.") term
+
+(* ----------------------------- info ---------------------------------- *)
+
+let info_cmd =
+  let run file =
+    Result.map
+      (fun g ->
+        Printf.printf "%s\n" (Format.asprintf "%a" Stats.pp (Stats.compute g));
+        Printf.printf "diameter (hops): %d\n" (Stats.diameter g);
+        match Girth.girth g with
+        | Some girth -> Printf.printf "girth: %d\n" girth
+        | None -> Printf.printf "girth: none (forest)\n")
+      (load_graph file)
+  in
+  let term = Term.(term_result (const run $ graph_arg)) in
+  Cmd.v (Cmd.info "info" ~doc:"Print statistics of a graph file.") term
+
+(* ----------------------------- build ---------------------------------- *)
+
+let algo_arg =
+  let doc = "Algorithm: greedy-poly (Algorithms 3/4), greedy-exp (Algorithm 1), dk11." in
+  let enum_conv =
+    Arg.enum
+      [
+        ("greedy-poly", Spanner.Greedy_poly);
+        ("greedy-exp", Spanner.Greedy_exponential);
+        ("dk11", Spanner.Dinitz_krauthgamer);
+      ]
+  in
+  Arg.(value & opt enum_conv Spanner.Greedy_poly & info [ "algo" ] ~docv:"ALGO" ~doc)
+
+let spanner_out_arg =
+  let doc = "Write the selected edge ids (one per line) to this file." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let dot_out_arg =
+  let doc = "Write a Graphviz rendering (spanner edges highlighted)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let save_selection sel file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun id -> output_string oc (string_of_int id ^ "\n")) (Selection.ids sel))
+
+let build_cmd =
+  let run seed k f mode algo file out dot =
+    Result.map
+      (fun g ->
+        let rng = Rng.create ~seed in
+        let params = { Spanner.k; f; mode } in
+        let t0 = Unix.gettimeofday () in
+        let sel = Spanner.build ~rng ~algorithm:algo params g in
+        let dt = Unix.gettimeofday () -. t0 in
+        let summary = Spanner.summarize ~algorithm:algo params sel in
+        Printf.printf "%s\n" (Format.asprintf "%a" Spanner.pp_summary summary);
+        Printf.printf "build time: %.3f s\n" dt;
+        Option.iter
+          (fun file ->
+            save_selection sel file;
+            Printf.printf "selection written to %s\n" file)
+          out;
+        Option.iter
+          (fun file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Graph_io.to_dot ~highlight:sel.Selection.selected g));
+            Printf.printf "dot rendering written to %s\n" file)
+          dot)
+      (load_graph file)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ algo_arg $ graph_arg
+       $ spanner_out_arg $ dot_out_arg))
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Construct a fault-tolerant spanner.") term
+
+(* ----------------------------- verify --------------------------------- *)
+
+let selection_arg =
+  let doc = "Selection file (edge ids, one per line) produced by ftspan build." in
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"SELECTION" ~doc)
+
+let trials_arg =
+  let doc = "Number of sampled fault sets per sampler." in
+  Arg.(value & opt int 200 & info [ "trials" ] ~docv:"N" ~doc)
+
+let exhaustive_arg =
+  let doc = "Enumerate all fault sets instead of sampling (small inputs only)." in
+  Arg.(value & flag & info [ "exhaustive" ] ~doc)
+
+let load_selection g file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let ids = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" then ids := int_of_string line :: !ids
+         done
+       with End_of_file -> ());
+      Selection.of_ids g !ids)
+
+let verify_cmd =
+  let run seed k f mode trials exhaustive graph_file sel_file =
+    match load_graph graph_file with
+    | Error e -> Error e
+    | Ok g -> (
+        let sel =
+          try Ok (load_selection g sel_file)
+          with e -> Error (`Msg (Printexc.to_string e))
+        in
+        match sel with
+        | Error e -> Error e
+        | Ok sel ->
+            let rng = Rng.create ~seed in
+            let stretch = float_of_int ((2 * k) - 1) in
+            let report =
+              if exhaustive then Verify.check_exhaustive sel ~mode ~stretch ~f
+              else begin
+                let a = Verify.check_adversarial rng sel ~mode ~stretch ~f ~trials in
+                if Verify.ok a then Verify.check_random rng sel ~mode ~stretch ~f ~trials
+                else a
+              end
+            in
+            Printf.printf "checked %d fault sets\n" report.Verify.checked;
+            (match report.Verify.violation with
+            | None ->
+                Printf.printf "OK: no stretch violation found (stretch %.0f, f=%d)\n"
+                  stretch f;
+                let profile = Verify.stretch_profile rng sel ~mode ~f ~trials:(min trials 50) in
+                Printf.printf "%s\n" (Format.asprintf "%a" Verify.pp_profile profile);
+                Ok ()
+            | Some v ->
+                Printf.printf "VIOLATION: %s\n"
+                  (Format.asprintf "%a" Verify.pp_violation v);
+                Error (`Msg "spanner property violated")))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ trials_arg
+       $ exhaustive_arg $ graph_arg $ selection_arg))
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Verify a spanner selection under faults.") term
+
+(* ----------------------------- local ---------------------------------- *)
+
+let local_cmd =
+  let run seed k f mode file =
+    Result.map
+      (fun g ->
+        let rng = Rng.create ~seed in
+        let res = Local_spanner.build rng ~mode ~k ~f g in
+        let d = res.Local_spanner.decomposition in
+        Printf.printf "partitions: %d, coverage: %.1f%%, max cluster depth: %d\n"
+          (Array.length d.Decomposition.partitions)
+          (100. *. Decomposition.coverage d)
+          d.Decomposition.max_depth;
+        Printf.printf
+          "rounds: %d total (%d decomposition + %d announce + %d gather + %d scatter)\n"
+          res.Local_spanner.total_rounds d.Decomposition.rounds
+          res.Local_spanner.announce_rounds res.Local_spanner.gather_rounds
+          res.Local_spanner.scatter_rounds;
+        Printf.printf "spanner: %d/%d edges (bound %.0f)\n"
+          res.Local_spanner.selection.Selection.size (Graph.m g)
+          (Bounds.local_size ~k ~f ~n:(Graph.n g));
+        Printf.printf "traffic: %s\n"
+          (Format.asprintf "%a" Net.pp_stats res.Local_spanner.stats))
+      (load_graph file)
+  in
+  let term =
+    Term.(term_result (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ graph_arg))
+  in
+  Cmd.v
+    (Cmd.info "local" ~doc:"Run the LOCAL-model construction (Theorem 12).")
+    term
+
+(* ----------------------------- congest -------------------------------- *)
+
+let c_arg =
+  let doc = "Iteration constant of the DK11 reduction." in
+  Arg.(value & opt float 1.0 & info [ "c" ] ~docv:"C" ~doc)
+
+let congest_cmd =
+  let run seed k f mode c file =
+    Result.map
+      (fun g ->
+        let rng = Rng.create ~seed in
+        let res = Congest_ft.build rng ~c ~mode ~k ~f g in
+        Printf.printf "iterations: %d (word size %d bits)\n" res.Congest_ft.iterations
+          res.Congest_ft.word_bits;
+        Printf.printf "rounds: %d total = %d phase-1 + %d phase-2 (base %d, overlap %d)\n"
+          res.Congest_ft.total_rounds res.Congest_ft.phase1_rounds
+          res.Congest_ft.phase2_rounds res.Congest_ft.phase2_base_rounds
+          res.Congest_ft.max_overlap;
+        Printf.printf "spanner: %d/%d edges (bound %.0f, paper rounds %.0f)\n"
+          res.Congest_ft.selection.Selection.size (Graph.m g)
+          (Bounds.congest_size ~k ~f ~n:(Graph.n g))
+          (Bounds.congest_rounds ~k ~f ~n:(Graph.n g)))
+      (load_graph file)
+  in
+  let term =
+    Term.(
+      term_result (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ c_arg $ graph_arg))
+  in
+  Cmd.v
+    (Cmd.info "congest" ~doc:"Run the CONGEST-model construction (Theorem 15).")
+    term
+
+(* ----------------------------- oracle --------------------------------- *)
+
+let queries_arg =
+  let doc = "Number of sampled distance queries." in
+  Arg.(value & opt int 1000 & info [ "queries" ] ~docv:"N" ~doc)
+
+let oracle_cmd =
+  let run seed k queries file =
+    Result.map
+      (fun g ->
+        let rng = Rng.create ~seed in
+        let t0 = Unix.gettimeofday () in
+        let oracle = Oracle.build rng ~k g in
+        let build_time = Unix.gettimeofday () -. t0 in
+        Printf.printf "oracle built in %.3f s; storage %d entries (n^2 = %d)\n"
+          build_time (Oracle.storage oracle)
+          (Graph.n g * Graph.n g);
+        let worst = ref 1.0 and total = ref 0. and counted = ref 0 in
+        for _ = 1 to queries do
+          let u = Rng.int rng (Graph.n g) and v = Rng.int rng (Graph.n g) in
+          if u <> v then begin
+            let exact = (Dijkstra.distances g u).(v) in
+            if exact < infinity then begin
+              let est = Oracle.query oracle u v in
+              let ratio = est /. exact in
+              incr counted;
+              total := !total +. ratio;
+              if ratio > !worst then worst := ratio
+            end
+          end
+        done;
+        Printf.printf
+          "%d queries: mean stretch %.3f, max stretch %.3f (guarantee %.0f)\n"
+          !counted
+          (!total /. float_of_int (max 1 !counted))
+          !worst (Oracle.stretch_bound oracle))
+      (load_graph file)
+  in
+  let term =
+    Term.(term_result (const run $ seed_arg $ k_arg $ queries_arg $ graph_arg))
+  in
+  Cmd.v
+    (Cmd.info "oracle" ~doc:"Build a Thorup-Zwick distance oracle and sample queries.")
+    term
+
+(* ----------------------------- prune ---------------------------------- *)
+
+let prune_cmd =
+  let run k f mode graph_file sel_file out =
+    match load_graph graph_file with
+    | Error e -> Error e
+    | Ok g ->
+        let sel = load_selection g sel_file in
+        let res = Prune.minimalize ~mode ~k ~f sel in
+        Printf.printf "pruned %d of %d edges (%.1f%%); %d remain\n"
+          res.Prune.removed res.Prune.candidates
+          (100. *. float_of_int res.Prune.removed
+          /. float_of_int (max 1 res.Prune.candidates))
+          res.Prune.pruned.Selection.size;
+        Option.iter
+          (fun file ->
+            save_selection res.Prune.pruned file;
+            Printf.printf "pruned selection written to %s\n" file)
+          out;
+        Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ k_arg $ f_arg $ mode_arg $ graph_arg $ selection_arg
+       $ spanner_out_arg))
+  in
+  Cmd.v
+    (Cmd.info "prune"
+       ~doc:"Minimalize a spanner selection by sound exact pruning (small inputs).")
+    term
+
+(* ------------------------------ main ----------------------------------- *)
+
+let () =
+  let doc = "fault-tolerant graph spanners (Dinitz-Robelle, PODC 2020)" in
+  let info = Cmd.info "ftspan" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            generate_cmd; info_cmd; build_cmd; verify_cmd; local_cmd;
+            congest_cmd; oracle_cmd; prune_cmd;
+          ]))

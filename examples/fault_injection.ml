@@ -1,0 +1,59 @@
+(* Fault injection study: how much fault tolerance do you need?
+
+   Run with:  dune exec examples/fault_injection.exe
+
+   Builds f-fault-tolerant spanners of one network for f = 0..4 and
+   replays the same battery of failure scenarios against each, reporting
+   survival (no disconnection among surviving pairs) and worst stretch.
+   The table shows the core trade-off: each +1 of tolerated faults costs
+   edges (~f^{1/2} for k=2) and buys survival against one more failure. *)
+
+let () =
+  let rng = Rng.create ~seed:123 in
+  let g = Generators.barabasi_albert rng ~n:300 ~attach:4 in
+  let k = 2 in
+  let stretch = float_of_int ((2 * k) - 1) in
+  Printf.printf
+    "network: preferential-attachment graph, n=%d m=%d (hubs make it fragile)\n"
+    (Graph.n g) (Graph.m g);
+
+  (* The failure battery: 150 adversarial scenarios at each severity. *)
+  let severities = [ 1; 2; 3 ] in
+  let scenarios =
+    List.map
+      (fun severity ->
+        let r = Rng.create ~seed:(1000 + severity) in
+        ( severity,
+          List.init 150 (fun _ -> Fault.random_adversarial r Fault.VFT g ~f:severity) ))
+      severities
+  in
+
+  Printf.printf "\n%4s %8s | %s\n" "f" "edges"
+    "per failure severity: %% scenarios within stretch / worst stretch";
+  Printf.printf "%4s %8s |" "" "";
+  List.iter (fun s -> Printf.printf "   %8s" (Printf.sprintf "%d faults" s)) severities;
+  print_newline ();
+
+  List.iter
+    (fun f ->
+      let sel = Poly_greedy.build ~mode:Fault.VFT ~k ~f g in
+      Printf.printf "%4d %8d |" f sel.Selection.size;
+      List.iter
+        (fun (_, faults) ->
+          let good = ref 0 in
+          List.iter
+            (fun fault ->
+              let s = Verify.max_stretch_under_fault sel fault in
+              if s <= stretch +. 1e-9 then incr good)
+            faults;
+          Printf.printf "   %7.0f%%" (100. *. float_of_int !good /. 150.))
+        scenarios;
+      print_newline ())
+    [ 0; 1; 2; 3; 4 ];
+
+  Printf.printf
+    "\nReading the table: a spanner built for f faults keeps every scenario\n\
+     with <= f failures within the stretch guarantee (its column reads 100%%),\n\
+     while scenarios above its budget may exceed it - and f=0 (the classic\n\
+     greedy) degrades immediately.  Rows confirm Theorems 5/8: tolerance is\n\
+     bought with edges, sublinearly in f.\n"

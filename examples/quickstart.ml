@@ -1,0 +1,45 @@
+(* Quickstart: build a fault-tolerant spanner and check it survives faults.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The library's three-step workflow:
+     1. get a graph (here: a random G(n,p), via Generators);
+     2. build an f-fault-tolerant (2k-1)-spanner (Poly_greedy - the
+        polynomial-time algorithm of Dinitz-Robelle, PODC 2020);
+     3. verify/measure it (Verify). *)
+
+let () =
+  let rng = Rng.create ~seed:42 in
+
+  (* 1. A random connected graph on 150 vertices, ~1100 edges. *)
+  let g = Generators.connected_gnp rng ~n:150 ~p:0.1 in
+  Printf.printf "input graph:   %d vertices, %d edges\n" (Graph.n g) (Graph.m g);
+
+  (* 2. A 2-fault-tolerant 3-spanner (k = 2, so stretch 2k-1 = 3). *)
+  let k = 2 and f = 2 in
+  let spanner = Poly_greedy.build ~mode:Fault.VFT ~k ~f g in
+  Printf.printf "spanner:       %d edges (%.0f%% of the input)\n"
+    spanner.Selection.size
+    (100. *. float_of_int spanner.Selection.size /. float_of_int (Graph.m g));
+  Printf.printf "paper bound:   %.0f edges (Theorem 8: O(k f^{1-1/k} n^{1+1/k}))\n"
+    (Bounds.poly_greedy_size ~k ~f ~n:(Graph.n g));
+
+  (* 3. Knock out up to f vertices, adversarially, and check the stretch. *)
+  let stretch = float_of_int ((2 * k) - 1) in
+  let report =
+    Verify.check_adversarial rng spanner ~mode:Fault.VFT ~stretch ~f ~trials:500
+  in
+  (match report.Verify.violation with
+  | None ->
+      Printf.printf "verification:  %d adversarial fault sets, no violation\n"
+        report.Verify.checked
+  | Some v ->
+      Printf.printf "verification:  VIOLATION %s\n"
+        (Format.asprintf "%a" Verify.pp_violation v));
+
+  (* Bonus: what actually happens to distances when two vertices die? *)
+  let fault = Fault.random rng Fault.VFT g ~f in
+  Printf.printf "sample fault:  %s -> worst stretch %.2f (allowed %.0f)\n"
+    (Format.asprintf "%a" Fault.pp fault)
+    (Verify.max_stretch_under_fault spanner fault)
+    stretch

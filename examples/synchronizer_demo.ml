@@ -1,0 +1,74 @@
+(* Synchronizers over spanner skeletons - the original application of
+   spanners (Peleg-Ullman 1989), with the fault-tolerance twist this
+   paper's construction enables.
+
+   Run with:  dune exec examples/synchronizer_demo.exe
+
+   An asynchronous network emulates synchronous pulses with an alpha
+   synchronizer: a node advances once all its skeleton neighbors reported
+   "safe".  The skeleton choice trades three quantities:
+
+     messages/pulse ~ 2|skeleton|,   skew ~ skeleton stretch,
+     and - when nodes crash - survival = skeleton fault tolerance.
+
+   We run the same 10-pulse workload over four skeletons, then repeat it
+   with two crashed routers. *)
+
+let () =
+  let rng = Rng.create ~seed:33 in
+  let g = Generators.connected_gnp rng ~n:120 ~p:0.08 in
+  Printf.printf "network: n=%d m=%d, 10 pulses, async delays U[0.1, 1.0]\n"
+    (Graph.n g) (Graph.m g);
+
+  (* Skeleton candidates. *)
+  let bfs_tree =
+    let dist = Bfs.distances g 0 in
+    let ids = ref [] in
+    for v = 1 to Graph.n g - 1 do
+      let best = ref (-1) in
+      Graph.iter_neighbors g v (fun y id ->
+          if dist.(y) = dist.(v) - 1 && !best < 0 then best := id);
+      if !best >= 0 then ids := !best :: !ids
+    done;
+    Selection.of_ids g !ids
+  in
+  let skeletons =
+    [
+      ("all edges (plain alpha)", Selection.full g);
+      ("BFS spanning tree", bfs_tree);
+      ("3-spanner (f=0)", Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:0 g);
+      ("2-FT 3-spanner (this paper)", Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:2 g);
+    ]
+  in
+
+  let show ?failures title =
+    Printf.printf "\n[%s]\n" title;
+    Printf.printf "%-30s %8s %10s %8s %8s %10s\n" "skeleton" "edges" "messages"
+      "pulses" "skew" "connected";
+    List.iter
+      (fun (name, skel) ->
+        let rep = Synchronizer.run (Rng.create ~seed:5) ?failures ~pulses:10 ~skeleton:skel g in
+        Printf.printf "%-30s %8d %10d %8d %8.2f %10b\n" name
+          rep.Synchronizer.skeleton_edges rep.Synchronizer.messages
+          rep.Synchronizer.pulses rep.Synchronizer.max_skew
+          rep.Synchronizer.survivors_connected)
+      skeletons
+  in
+
+  show "fault-free";
+
+  (* Crash two busy routers mid-run. *)
+  let by_degree = Array.init (Graph.n g) (fun v -> (Graph.degree g v, v)) in
+  Array.sort (fun a b -> compare b a) by_degree;
+  let victims = [ snd by_degree.(0); snd by_degree.(1) ] in
+  show
+    ~failures:(2.5, victims)
+    (Printf.sprintf "crashing the 2 busiest routers (%d, %d) at t=2.5"
+       (List.nth victims 0) (List.nth victims 1));
+
+  Printf.printf
+    "\nReading the tables: the tree is cheapest but one crash partitions it\n\
+     (unbounded skew between fragments); the plain 3-spanner usually\n\
+     survives a crash but offers no guarantee; the 2-fault-tolerant\n\
+     spanner keeps the surviving network connected with bounded skew, at a\n\
+     modest message premium - the paper's object doing its job.\n"

@@ -1,0 +1,133 @@
+type cluster_state = { center_of : int array; phases : int }
+
+(* Per-vertex grouping of alive incident edges by the neighbor's cluster,
+   using stamped scratch arrays so each phase costs O(m) total. *)
+type scratch = {
+  best_w : float array;  (* per center: lightest edge weight *)
+  best_e : int array;  (* per center: lightest edge id *)
+  stamp_of : int array;  (* per center: stamp of last refresh *)
+  kill : int array;  (* per center: stamp when marked for edge removal *)
+  mutable stamp : int;
+}
+
+let make_scratch n =
+  {
+    best_w = Array.make n infinity;
+    best_e = Array.make n (-1);
+    stamp_of = Array.make n 0;
+    kill = Array.make n 0;
+    stamp = 0;
+  }
+
+let build_with_state rng ~k g =
+  if k < 1 then invalid_arg "Baswana_sen.build: k must be >= 1";
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let selected = Array.make m false in
+  let alive = Array.make m true in
+  let center = Array.init n (fun v -> v) in
+  let p = if n <= 1 then 1.0 else float_of_int n ** (-1. /. float_of_int k) in
+  let sc = make_scratch n in
+  let add_edge id = selected.(id) <- true in
+  (* Group the alive incident edges of [v] by old cluster center; returns
+     the list of adjacent centers (own cluster excluded: intra-cluster
+     edges are killed on sight, their detour being the cluster tree). *)
+  let group old v =
+    sc.stamp <- sc.stamp + 1;
+    let adjacent = ref [] in
+    Graph.iter_neighbors g v (fun y id ->
+        if alive.(id) then begin
+          let oc = old.(y) in
+          if oc < 0 then ()
+          else if oc = old.(v) && old.(v) >= 0 then alive.(id) <- false
+          else begin
+            if sc.stamp_of.(oc) <> sc.stamp then begin
+              sc.stamp_of.(oc) <- sc.stamp;
+              sc.best_w.(oc) <- infinity;
+              sc.best_e.(oc) <- -1;
+              adjacent := oc :: !adjacent
+            end;
+            let w = Graph.weight g id in
+            if w < sc.best_w.(oc) then begin
+              sc.best_w.(oc) <- w;
+              sc.best_e.(oc) <- id
+            end
+          end
+        end);
+    !adjacent
+  in
+  (* Kill every alive edge of [v] leading to a cluster marked in
+     [sc.kill] at the current stamp. *)
+  let apply_kills old v =
+    Graph.iter_neighbors g v (fun y id ->
+        if alive.(id) then begin
+          let oc = old.(y) in
+          if oc >= 0 && sc.kill.(oc) = sc.stamp then alive.(id) <- false
+        end)
+  in
+  (* Phase 1: k-1 rounds of cluster sampling. *)
+  for _phase = 1 to k - 1 do
+    let sampled = Array.make n false in
+    let is_center = Array.make n false in
+    for v = 0 to n - 1 do
+      if center.(v) >= 0 then is_center.(center.(v)) <- true
+    done;
+    for c = 0 to n - 1 do
+      if is_center.(c) then sampled.(c) <- Rng.bernoulli rng ~p
+    done;
+    let old = Array.copy center in
+    for v = 0 to n - 1 do
+      if old.(v) >= 0 && not sampled.(old.(v)) then begin
+        let adjacent = group old v in
+        let sampled_best = ref infinity and sampled_center = ref (-1) in
+        List.iter
+          (fun c ->
+            if sampled.(c) && sc.best_w.(c) < !sampled_best then begin
+              sampled_best := sc.best_w.(c);
+              sampled_center := c
+            end)
+          adjacent;
+        if !sampled_center < 0 then begin
+          (* No sampled neighbor: connect to every adjacent cluster and
+             retire from the clustering. *)
+          List.iter
+            (fun c ->
+              add_edge sc.best_e.(c);
+              sc.kill.(c) <- sc.stamp)
+            adjacent;
+          apply_kills old v;
+          center.(v) <- -1
+        end
+        else begin
+          (* Hook onto the lightest sampled cluster; also keep the lightest
+             edge to every strictly lighter cluster, then drop all edges to
+             the covered clusters. *)
+          add_edge sc.best_e.(!sampled_center);
+          sc.kill.(!sampled_center) <- sc.stamp;
+          List.iter
+            (fun c ->
+              if c <> !sampled_center && sc.best_w.(c) < !sampled_best then begin
+                add_edge sc.best_e.(c);
+                sc.kill.(c) <- sc.stamp
+              end)
+            adjacent;
+          apply_kills old v;
+          center.(v) <- !sampled_center
+        end
+      end
+    done
+  done;
+  (* Phase 2: lightest edge to every remaining adjacent cluster. *)
+  let old = Array.copy center in
+  for v = 0 to n - 1 do
+    let adjacent = group old v in
+    List.iter
+      (fun c ->
+        add_edge sc.best_e.(c);
+        sc.kill.(c) <- sc.stamp)
+      adjacent;
+    apply_kills old v
+  done;
+  (Selection.of_mask g selected, { center_of = center; phases = k - 1 })
+
+let build rng ~k g = fst (build_with_state rng ~k g)

@@ -1,0 +1,33 @@
+(** The Baswana-Sen randomized (2k-1)-spanner (Random Struct. Algorithms
+    2007) — the non-fault-tolerant spanner algorithm the paper plugs into
+    the Dinitz-Krauthgamer reduction for its CONGEST construction
+    (Theorem 14).
+
+    The algorithm maintains a clustering, initially all singletons.  In
+    each of [k - 1] phases a [n^{-1/k}] fraction of clusters is sampled;
+    a vertex of an unsampled cluster either hooks onto the lightest
+    incident sampled cluster (keeping the lightest edge to every
+    lighter-than-the-hook cluster) or, lacking a sampled neighbor, keeps
+    the lightest edge to {e every} neighboring cluster and retires.  A
+    final phase connects every vertex to each cluster it still touches.
+
+    Expected size [O(k n^{1+1/k})]; stretch [2k - 1] with certainty
+    (every discarded edge has an in-spanner detour by construction).  The
+    library uses this both as a centralized baseline and, instrumented
+    round-by-round, inside the distributed CONGEST implementation. *)
+
+type cluster_state = {
+  center_of : int array;
+      (** final clustering (level [k-1]): center vertex per vertex, [-1] if
+          the vertex retired from the clustering *)
+  phases : int;  (** number of clustering phases performed, [k - 1] *)
+}
+
+(** [build rng ~k g] returns the spanner selection.  Requires [k >= 1];
+    [k = 1] returns every edge (a 1-spanner must preserve exact
+    distances). *)
+val build : Rng.t -> k:int -> Graph.t -> Selection.t
+
+(** [build_with_state rng ~k g] additionally exposes the final clustering,
+    used by tests (cluster radius invariants). *)
+val build_with_state : Rng.t -> k:int -> Graph.t -> Selection.t * cluster_state

@@ -1,0 +1,83 @@
+type result = { selection : Selection.t; batches : int; max_batch : int }
+
+(* [decide_range] judges edges.(lo..hi-1) against the frozen spanner [h],
+   writing verdicts into [verdicts]; [h] is not mutated, so concurrent
+   calls on disjoint ranges are race-free. *)
+let decide_range ~mode ~t ~f h edges verdicts lo hi =
+  let ws = Lbc.Workspace.create () in
+  for i = lo to hi - 1 do
+    let e = edges.(i) in
+    match Lbc.decide ~ws ~mode h ~u:e.Graph.u ~v:e.Graph.v ~t ~alpha:f with
+    | Lbc.Yes _ -> verdicts.(i) <- true
+    | Lbc.No _ -> ()
+  done
+
+let build_impl ?(order = Poly_greedy.By_weight) ~decide ~mode ~k ~f ~batch g =
+  if batch < 1 then invalid_arg "Batch_greedy.build: batch must be >= 1";
+  if k < 1 then invalid_arg "Batch_greedy.build: k must be >= 1";
+  if f < 0 then invalid_arg "Batch_greedy.build: f must be >= 0";
+  let t = (2 * k) - 1 in
+  let edges =
+    match order with
+    | Poly_greedy.By_weight ->
+        let a = Graph.edge_array g in
+        Array.sort (fun x y -> compare x.Graph.w y.Graph.w) a;
+        a
+    | Poly_greedy.Input_order -> Graph.edge_array g
+    | Poly_greedy.Reverse_weight ->
+        let a = Graph.edge_array g in
+        Array.sort (fun x y -> compare y.Graph.w x.Graph.w) a;
+        a
+    | Poly_greedy.Shuffled rng ->
+        let a = Graph.edge_array g in
+        Rng.shuffle rng a;
+        a
+    | Poly_greedy.Explicit perm -> Array.map (Graph.edge g) perm
+  in
+  let m = Array.length edges in
+  let h = Graph.create (Graph.n g) in
+  let selected = Array.make (Graph.m g) false in
+  let verdicts = Array.make (max 1 m) false in
+  let batches = ref 0 and max_batch = ref 0 in
+  let pos = ref 0 in
+  while !pos < m do
+    let hi = min m (!pos + batch) in
+    incr batches;
+    if hi - !pos > !max_batch then max_batch := hi - !pos;
+    (* Decision phase: every edge of the batch is judged against the same
+       frozen H. *)
+    decide ~mode ~t ~f h edges verdicts !pos hi;
+    (* Commit phase. *)
+    for i = !pos to hi - 1 do
+      if verdicts.(i) then begin
+        let e = edges.(i) in
+        ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
+        selected.(e.Graph.id) <- true
+      end
+    done;
+    pos := hi
+  done;
+  { selection = Selection.of_mask g selected; batches = !batches; max_batch = !max_batch }
+
+let build ?order ~mode ~k ~f ~batch g =
+  build_impl ?order ~decide:decide_range ~mode ~k ~f ~batch g
+
+let build_parallel ?order ~mode ~k ~f ~batch ~domains g =
+  if domains < 1 then invalid_arg "Batch_greedy.build_parallel: domains must be >= 1";
+  if domains = 1 then build ?order ~mode ~k ~f ~batch g
+  else begin
+    let decide ~mode ~t ~f h edges verdicts lo hi =
+      let span = hi - lo in
+      let workers = min domains (max 1 span) in
+      let chunk = (span + workers - 1) / workers in
+      let spawn w =
+        let wlo = lo + (w * chunk) in
+        let whi = min hi (wlo + chunk) in
+        Domain.spawn (fun () ->
+            if wlo < whi then decide_range ~mode ~t ~f h edges verdicts wlo whi)
+      in
+      let handles = List.init workers spawn in
+      List.iter Domain.join handles
+    in
+    build_impl ?order ~decide ~mode ~k ~f ~batch g
+  end

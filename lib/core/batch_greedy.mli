@@ -1,0 +1,52 @@
+(** Batched (round-parallel) modified greedy — the parallelization probe
+    the paper's conclusion asks about.
+
+    The conclusion notes that the greedy "tends to be difficult to
+    parallelize" because every decision depends on all earlier additions.
+    The natural relaxation processes edges in batches: all edges of a
+    batch are decided {e against the same} partial spanner (those LBC
+    calls are embarrassingly parallel), then every YES edge of the batch
+    is added at once.
+
+    Correctness is unaffected: an edge rejected in batch [r] was rejected
+    against [H_r ⊆ H_final], and Theorem 4's NO guarantee ("every
+    length-(2k-1) cut of [H_r] for [u,v] exceeds [f]") is monotone under
+    edge additions, so it holds for [H_final] too.  What degrades is the
+    {e size}: edges of one batch cannot see each other, so mutual detours
+    are missed — with a single batch the output is the whole graph.  The
+    E12 experiment measures that size/parallelism trade-off. *)
+
+type result = {
+  selection : Selection.t;
+  batches : int;  (** sequential rounds executed *)
+  max_batch : int;  (** largest batch size (parallelism exposed) *)
+}
+
+(** [build ?order ~mode ~k ~f ~batch g] runs the batched greedy with
+    batches of [batch] edges ([batch = 1] is exactly {!Poly_greedy.build};
+    [batch >= m] decides every edge against the empty spanner).  Requires
+    [batch >= 1]. *)
+val build :
+  ?order:Poly_greedy.order ->
+  mode:Fault.mode ->
+  k:int ->
+  f:int ->
+  batch:int ->
+  Graph.t ->
+  result
+
+(** [build_parallel ?order ~mode ~k ~f ~batch ~domains g] is {!build} with
+    the decision phase of each batch actually fanned out over [domains]
+    OCaml 5 domains (the partial spanner is read-only during a decision
+    phase, so the LBC calls are data-race-free by construction; every
+    domain uses its own workspace).  Produces exactly the same selection
+    as {!build} with the same parameters.  Requires [domains >= 1]. *)
+val build_parallel :
+  ?order:Poly_greedy.order ->
+  mode:Fault.mode ->
+  k:int ->
+  f:int ->
+  batch:int ->
+  domains:int ->
+  Graph.t ->
+  result

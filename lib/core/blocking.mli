@@ -1,0 +1,59 @@
+(** Blocking sets (Definition 2 of the paper) — the combinatorial object
+    behind the size analysis of the modified greedy (Lemmas 6 and 7).
+
+    A [t]-blocking set of a graph [H] is a set [B] of (vertex, edge) pairs
+    with [v ∉ e], such that every cycle of [H] with at most [t] vertices
+    contains both members of some pair.  Lemma 6: the greedy's LBC
+    certificates [F_e] assemble into a (2k)-blocking set of size at most
+    [(2k-1) f |E(H)|]; Lemma 7: any graph with such a blocking set has a
+    dense girth->2k subgraph, which the Moore bound caps — yielding
+    Theorem 8.
+
+    This module makes that analysis executable: it builds [B] from
+    {!Poly_greedy.build_with_certificates}, verifies the blocking property
+    by enumerating short cycles, and runs the Lemma 7 subsampling whose
+    girth claim is deterministic.  Vertex-fault mode only, matching the
+    paper's definition. *)
+
+type t = {
+  pairs : (int * int) list;  (** (vertex id, source edge id) pairs *)
+  spanner : Selection.t;
+}
+
+(** [of_certificates sel certs] assembles
+    [B = { (x, e) : e ∈ E(H), x ∈ F_e }] from a VFT greedy run. *)
+val of_certificates : Selection.t -> Poly_greedy.certificate list -> t
+
+(** [size b] is [|B|]. *)
+val size : t -> int
+
+(** [lemma6_bound ~k ~f ~spanner_size] is [(2k-1) · f · |E(H)|], the size
+    Lemma 6 guarantees. *)
+val lemma6_bound : k:int -> f:int -> spanner_size:int -> int
+
+(** A short cycle of the spanner, in source-graph terms. *)
+type cycle = { vertices : int list; edges : int list }
+
+(** [short_cycles ?limit sel ~max_len] enumerates the simple cycles of the
+    spanner with at most [max_len] vertices (each cycle once).  Stops after
+    [limit] cycles (default [200_000]); returns the cycles found and
+    whether enumeration was exhaustive. *)
+val short_cycles : ?limit:int -> Selection.t -> max_len:int -> cycle list * bool
+
+(** [is_blocking b ~t] checks Definition 2 directly: every enumerated
+    cycle of at most [t] vertices is hit by some pair.  Returns the first
+    unblocked cycle, if any ([Error] when cycle enumeration hit the
+    limit). *)
+val is_blocking : ?limit:int -> t -> t_bound:int -> (cycle option, string) result
+
+(** Result of one Lemma 7 subsampling experiment. *)
+type subsample = {
+  sampled_nodes : int;  (** [⌊n / (2(2k-1)f)⌋] *)
+  surviving_edges : int;  (** edges of H'' *)
+  expected_edges : float;  (** [m / (8((2k-1)f)^2)], the lemma's expectation *)
+  girth_exceeds_2k : bool;  (** deterministic per the lemma *)
+}
+
+(** [lemma7_subsample rng b ~k ~f] performs the random-subset construction
+    from the proof of Lemma 7 on the blocking set [b]. *)
+val lemma7_subsample : Rng.t -> t -> k:int -> f:int -> subsample

@@ -1,0 +1,42 @@
+let fk k = float_of_int k
+let fpow base e = base ** e
+
+let optimal_size ~k ~f ~n =
+  let k = fk k and f = fk (max 1 f) and n = fk n in
+  fpow f (1. -. (1. /. k)) *. fpow n (1. +. (1. /. k))
+
+let poly_greedy_size ~k ~f ~n = fk k *. optimal_size ~k ~f ~n
+
+let poly_greedy_time ~k ~f ~n ~m =
+  let kf = fk k and ff = fk (max 1 f) and nf = fk n and mf = fk m in
+  mf *. kf *. fpow ff (2. -. (1. /. kf)) *. fpow nf (1. +. (1. /. kf))
+
+let dk11_size ~k ~f ~n =
+  let kf = fk k and ff = fk (max 1 f) and nf = fk n in
+  fpow ff (2. -. (1. /. kf)) *. fpow nf (1. +. (1. /. kf)) *. log nf
+
+let local_size ~k ~f ~n = optimal_size ~k ~f ~n *. log (fk n)
+
+let congest_size ~k ~f ~n = fk k *. dk11_size ~k ~f ~n
+
+let congest_rounds ~k ~f ~n =
+  let kf = fk k and ff = fk (max 1 f) and nf = fk n in
+  (ff *. ff *. (log (max 2. ff) +. log (log (max 3. nf))))
+  +. (kf *. kf *. ff *. log nf)
+
+let log_log_slope points =
+  let pts =
+    List.filter_map
+      (fun (x, y) -> if x > 0. && y > 0. then Some (log x, log y) else None)
+      points
+  in
+  let n = float_of_int (List.length pts) in
+  if List.length pts < 2 then invalid_arg "Bounds.log_log_slope: need >= 2 points";
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then
+    invalid_arg "Bounds.log_log_slope: x values must differ";
+  ((n *. sxy) -. (sx *. sy)) /. denom

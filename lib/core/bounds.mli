@@ -1,0 +1,38 @@
+(** Closed-form versions of the paper's asymptotic bounds.
+
+    The experiment harness normalizes measured quantities by these
+    formulas: if a measured series matches the paper's shape, the
+    normalized ratio is flat in the swept parameter.  Constants hidden by
+    O-notation are deliberately set to 1 — only shapes are compared. *)
+
+(** [optimal_size ~k ~f ~n] is [f^{1-1/k} * n^{1+1/k}] — the BDPW18/BP19
+    optimal fault-tolerant spanner size (and the Althöfer et al. bound
+    [n^{1+1/k}] when [f = 1]). *)
+val optimal_size : k:int -> f:int -> n:int -> float
+
+(** [poly_greedy_size ~k ~f ~n] is [k * f^{1-1/k} * n^{1+1/k}] — Theorem 8. *)
+val poly_greedy_size : k:int -> f:int -> n:int -> float
+
+(** [poly_greedy_time ~k ~f ~n ~m] is [m * k * f^{2-1/k} * n^{1+1/k}] —
+    Theorem 9. *)
+val poly_greedy_time : k:int -> f:int -> n:int -> m:int -> float
+
+(** [dk11_size ~k ~f ~n] is [f^{2-1/k} * n^{1+1/k} * ln n] — Theorem 13
+    with [g(n) = n^{1+1/k}]. *)
+val dk11_size : k:int -> f:int -> n:int -> float
+
+(** [local_size ~k ~f ~n] is [f^{1-1/k} * n^{1+1/k} * ln n] — Theorem 12. *)
+val local_size : k:int -> f:int -> n:int -> float
+
+(** [congest_size ~k ~f ~n] is [k * f^{2-1/k} * n^{1+1/k} * ln n] —
+    Theorem 15. *)
+val congest_size : k:int -> f:int -> n:int -> float
+
+(** [congest_rounds ~k ~f ~n] is [f^2 (ln f + ln ln n) + k^2 f ln n] —
+    Theorem 15. *)
+val congest_rounds : k:int -> f:int -> n:int -> float
+
+(** [log_log_slope points] fits a least-squares line to
+    [(log x, log y)] pairs and returns its slope — the measured scaling
+    exponent.  Requires at least two distinct x values. *)
+val log_log_slope : (float * float) list -> float

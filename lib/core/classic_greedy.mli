@@ -1,0 +1,12 @@
+(** The classic greedy (2k-1)-spanner of Althöfer et al. (1993).
+
+    Edges are scanned in nondecreasing weight order; an edge is kept iff
+    the partial spanner does not already connect its endpoints within
+    stretch [2k - 1].  The output has girth exceeding [2k], hence at most
+    [O(n^{1+1/k})] edges — the non-fault-tolerant anchor every
+    fault-tolerant bound in the paper is measured against (it is also
+    exactly Algorithm 1/3 with [f = 0]). *)
+
+(** [build ~k g] returns the greedy (2k-1)-spanner selection.
+    Requires [k >= 1]. *)
+val build : k:int -> Graph.t -> Selection.t

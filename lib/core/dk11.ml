@@ -1,0 +1,42 @@
+type algo = Rng.t -> Graph.t -> Selection.t
+
+let iterations ?(c = 1.0) ~f ~n () =
+  if f <= 0 then 1
+  else begin
+    (* A fixed pair (edge, fault set) is "hit" by an iteration with
+       probability p^2 (1-p)^f >= 1/(e (f+1)^2), so the union bound over
+       the O(n^{f+2}) pairs needs J ~ e (f+1)^2 * (f+2) ln n; we expose the
+       leading constant as [c] and keep the (f+1)^3 ln n shape. *)
+    let ff = float_of_int (f + 1) in
+    let j = c *. exp 1.0 *. (ff ** 3.) *. log (float_of_int (max 2 n)) in
+    max 1 (int_of_float (ceil j))
+  end
+
+let build rng ~mode ~k ~f ?(c = 1.0) ?algo g =
+  if k < 1 then invalid_arg "Dk11.build: k must be >= 1";
+  if f < 0 then invalid_arg "Dk11.build: f must be >= 0";
+  let algo = match algo with Some a -> a | None -> fun rng g -> Baswana_sen.build rng ~k g in
+  let n = Graph.n g in
+  if f = 0 then algo rng g
+  else begin
+    let j = iterations ~c ~f ~n () in
+    let p = 1. /. float_of_int (f + 1) in
+    let union = Array.make (Graph.m g) false in
+    for _iter = 1 to j do
+      let sub =
+        match mode with
+        | Fault.VFT ->
+            let keep = Array.init n (fun _ -> Rng.bernoulli rng ~p) in
+            Subgraph.induced_mask g keep
+        | Fault.EFT ->
+            let keep = Array.init (Graph.m g) (fun _ -> Rng.bernoulli rng ~p) in
+            Subgraph.of_edge_subset g keep
+      in
+      let sel = algo rng sub.Subgraph.graph in
+      Array.iteri
+        (fun sid chosen ->
+          if chosen then union.(sub.Subgraph.to_parent_edge.(sid)) <- true)
+        sel.Selection.selected
+    done;
+    Selection.of_mask g union
+  end

@@ -1,0 +1,50 @@
+(** The Dinitz-Krauthgamer black-box fault-tolerance reduction (PODC 2011),
+    which the paper combines with Baswana-Sen for its CONGEST algorithm
+    (Theorem 13) and which serves as the pre-greedy centralized baseline.
+
+    Given any algorithm [A] building a (2k-1)-spanner with [g(n)] edges,
+    the reduction runs [J = ceil(c * f^3 * ln n)] independent iterations;
+    in each, every vertex participates with probability [1/(f+1)] and [A]
+    runs on the induced subgraph.  The union of all iterations is an
+    f-VFT (2k-1)-spanner w.h.p., with [O(f^3 g(2n/f) log n)] edges — for
+    [g(n) = n^{1+1/k}] this is [O(f^{2-1/k} n^{1+1/k} log n)], a factor
+    [~f] denser than the greedy bound, which is exactly the gap experiment
+    E8 measures.
+
+    Two notes recorded for fidelity:
+    - The paper's prose says vertices participate "with probability
+      [1/f]"; we use [1/(f+1)], following the original DK11 analysis —
+      with [p = 1/f] the reduction is vacuous at [f = 1] (every vertex
+      would participate in every iteration, so no fault set is ever
+      avoided).
+    - [c] is the w.h.p. constant the asymptotic notation hides.  The
+      iteration count is [ceil (c * e * (f+1)^3 * ln n)]: an iteration
+      hits a fixed (edge, fault-set) pair with probability at least
+      [1/(e (f+1)^2)], so the [e (f+1)^3] factor makes [c = 1] already
+      give a per-pair failure probability below [n^{-(f+1)}]-ish on the
+      instance sizes the experiments sweep; the experiments measure the
+      residual failure rate over seeds explicitly.
+
+    For edge faults, each {e edge} participates with probability
+    [1/(f+1)] and [A] runs on the surviving spanning subgraph; this is the
+    natural EFT analogue and is verified empirically by the test suite. *)
+
+type algo = Rng.t -> Graph.t -> Selection.t
+(** the plugged-in non-fault-tolerant spanner algorithm *)
+
+(** [iterations ?c ~f ~n ()] is the iteration count
+    [max 1 (ceil (c * e * (f+1)^3 * ln n))] (1 when [f = 0]). *)
+val iterations : ?c:float -> f:int -> n:int -> unit -> int
+
+(** [build rng ~mode ~k ~f ?c ?algo g] runs the reduction.  [algo] defaults
+    to Baswana-Sen with parameter [k]; [f = 0] degenerates to a single run
+    of [algo] on [g]. *)
+val build :
+  Rng.t ->
+  mode:Fault.mode ->
+  k:int ->
+  f:int ->
+  ?c:float ->
+  ?algo:algo ->
+  Graph.t ->
+  Selection.t

@@ -1,0 +1,101 @@
+(* Witness-path search shared by the decision procedure: a path whose
+   weight is within [budget], with as few hops as possible (small branching
+   factor).  In unit-weight graphs weight and hops coincide, so plain BFS
+   with [max_hops = budget] is both exact and fast. *)
+let witness_path ~unit_graph ~blocked_v ~blocked_e h ~u ~v ~budget =
+  if unit_graph then
+    let max_hops = int_of_float (floor (budget +. 1e-9)) in
+    if max_hops < 1 then None
+    else
+      Bfs.hop_bounded_path ~blocked_vertices:blocked_v ~blocked_edges:blocked_e
+        h ~src:u ~dst:v ~max_hops
+  else
+    Hop_dp.min_hop_path ~blocked_vertices:blocked_v ~blocked_edges:blocked_e h
+      ~src:u ~dst:v ~budget ~max_hops:(Graph.n h - 1)
+
+let exists_fault_set ~mode h ~u ~v ~budget ~f =
+  let unit_graph = Graph.is_unit_weighted h in
+  let blocked_v = Array.make (Graph.n h) false in
+  let blocked_e = Array.make (max 1 (Graph.m h)) false in
+  (* DFS for a fault set of size <= f destroying all budget-paths: if no
+     witness path survives, the current deletions are such a set. *)
+  let rec search depth =
+    match witness_path ~unit_graph ~blocked_v ~blocked_e h ~u ~v ~budget with
+    | None -> true
+    | Some p ->
+        depth < f
+        &&
+        let try_vertex x =
+          blocked_v.(x) <- true;
+          let hit = search (depth + 1) in
+          blocked_v.(x) <- false;
+          hit
+        in
+        let try_edge id =
+          blocked_e.(id) <- true;
+          let hit = search (depth + 1) in
+          blocked_e.(id) <- false;
+          hit
+        in
+        (match mode with
+        | Fault.VFT -> List.exists try_vertex (Path.interior p)
+        | Fault.EFT -> List.exists try_edge p.Path.edges)
+  in
+  search 0
+
+(* The literal decision of BDPW18/BP19: try all fault sets.  The fault set
+   never usefully contains u or v (VFT faults on terminals exempt the pair
+   from the spanner condition), so terminals are skipped. *)
+let exists_fault_set_naive ~mode h ~u ~v ~budget ~f =
+  let n = Graph.n h and m = Graph.m h in
+  let blocked_v = Array.make n false in
+  let blocked_e = Array.make (max 1 m) false in
+  let universe = match mode with Fault.VFT -> n | Fault.EFT -> m in
+  let blocked = match mode with Fault.VFT -> blocked_v | Fault.EFT -> blocked_e in
+  let skip x = match mode with Fault.VFT -> x = u || x = v | Fault.EFT -> false in
+  let cut_found () =
+    Option.is_none
+      (Dijkstra.distance_upto ~blocked_vertices:blocked_v ~blocked_edges:blocked_e
+         h ~src:u ~dst:v ~cutoff:budget)
+  in
+  let rec enumerate count start =
+    cut_found ()
+    || (count < f
+       &&
+       let rec scan x =
+         x < universe
+         && ((not (skip x))
+             && begin
+                  blocked.(x) <- true;
+                  let hit = enumerate (count + 1) (x + 1) in
+                  blocked.(x) <- false;
+                  hit
+                end
+            || scan (x + 1))
+       in
+       scan start)
+  in
+  enumerate 0 0
+
+let build_greedy ~decide ~mode ~k ~f g =
+  if k < 1 then invalid_arg "Exp_greedy.build: k must be >= 1";
+  if f < 0 then invalid_arg "Exp_greedy.build: f must be >= 0";
+  let stretch = float_of_int ((2 * k) - 1) in
+  let order = Graph.edge_array g in
+  Array.sort (fun a b -> compare a.Graph.w b.Graph.w) order;
+  let h = Graph.create (Graph.n g) in
+  let selected = Array.make (Graph.m g) false in
+  let consider e =
+    let budget = stretch *. e.Graph.w in
+    if decide ~mode h ~u:e.Graph.u ~v:e.Graph.v ~budget ~f then begin
+      ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
+      selected.(e.Graph.id) <- true
+    end
+  in
+  Array.iter consider order;
+  Selection.of_mask g selected
+
+let build ~mode ~k ~f g = build_greedy ~decide:exists_fault_set ~mode ~k ~f g
+
+let build_naive ~mode ~k ~f g =
+  build_greedy ~decide:exists_fault_set_naive ~mode ~k ~f g

@@ -1,0 +1,52 @@
+type t = {
+  mode : Fault.mode;
+  k : int;
+  f : int;
+  source : Graph.t;  (* all arrivals *)
+  spanner : Graph.t;  (* kept arrivals *)
+  mutable kept_ids : int list;  (* source edge ids, newest first *)
+  mutable kept : int;
+  mutable last_weight : float;
+  mutable monotone : bool;
+  ws : Lbc.Workspace.t;
+}
+
+let create ~mode ~k ~f ~n =
+  if k < 1 then invalid_arg "Incremental.create: k must be >= 1";
+  if f < 0 then invalid_arg "Incremental.create: f must be >= 0";
+  {
+    mode;
+    k;
+    f;
+    source = Graph.create n;
+    spanner = Graph.create n;
+    kept_ids = [];
+    kept = 0;
+    last_weight = neg_infinity;
+    monotone = true;
+    ws = Lbc.Workspace.create ();
+  }
+
+let insert t u v ~w =
+  let id = Graph.add_edge t.source u v ~w in
+  if w < t.last_weight then t.monotone <- false;
+  t.last_weight <- max t.last_weight w;
+  let verdict =
+    Lbc.decide ~ws:t.ws ~mode:t.mode t.spanner ~u ~v ~t:((2 * t.k) - 1)
+      ~alpha:t.f
+  in
+  match verdict with
+  | Lbc.Yes _ ->
+      ignore (Graph.add_edge t.spanner u v ~w);
+      t.kept_ids <- id :: t.kept_ids;
+      t.kept <- t.kept + 1;
+      true
+  | Lbc.No _ -> false
+
+let insert_unit t u v = insert t u v ~w:1.0
+
+let size t = t.kept
+let seen t = Graph.m t.source
+let weight_monotone t = t.monotone
+
+let snapshot t = Selection.of_ids t.source t.kept_ids

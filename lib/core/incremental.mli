@@ -1,0 +1,45 @@
+(** Incremental (insertion-only) fault-tolerant spanner maintenance.
+
+    Theorem 8's size analysis holds for an {e arbitrary} edge order, and on
+    unit-weight graphs so does correctness (Theorem 5) — which makes the
+    modified greedy natural to run online: feed each arriving edge through
+    the same LBC test against the spanner built so far.  The answer for an
+    already-rejected edge only becomes more true as the spanner grows
+    (Theorem 4's NO guarantee is monotone under edge additions), so no
+    revisiting is ever needed.
+
+    For weighted graphs the stretch guarantee additionally needs
+    nondecreasing arrival weights (Theorem 10's ordering argument); the
+    builder tracks whether arrivals respected that and reports it, leaving
+    policy to the caller.
+
+    The structure maintains its own growing source graph; {!snapshot}
+    materializes the usual {!Selection.t} view at any point. *)
+
+type t
+
+(** [create ~mode ~k ~f ~n] starts an empty maintainer over [n] fixed
+    vertices. *)
+val create : mode:Fault.mode -> k:int -> f:int -> n:int -> t
+
+(** [insert t u v ~w] feeds one arriving edge; returns [true] when the
+    edge was kept.  Raises [Invalid_argument] on self-loops/duplicates,
+    like {!Graph.add_edge}. *)
+val insert : t -> int -> int -> w:float -> bool
+
+(** [insert_unit t u v] is [insert t u v ~w:1.0]. *)
+val insert_unit : t -> int -> int -> bool
+
+(** [size t] is the current spanner size; [seen t] the number of arrivals. *)
+val size : t -> int
+
+val seen : t -> int
+
+(** [weight_monotone t] is [true] while arrivals came in nondecreasing
+    weight order — the condition under which the weighted stretch guarantee
+    (Theorem 10) applies to the current state. *)
+val weight_monotone : t -> bool
+
+(** [snapshot t] materializes the arrivals-so-far as a graph plus the kept
+    selection over it. *)
+val snapshot : t -> Selection.t

@@ -1,0 +1,76 @@
+module Workspace = struct
+  type t = {
+    bfs : Bfs.Workspace.t;
+    mutable blocked_v : bool array;
+    mutable blocked_e : bool array;
+  }
+
+  let create () = { bfs = Bfs.Workspace.create (); blocked_v = [||]; blocked_e = [||] }
+
+  let ensure ws ~n ~m =
+    if Array.length ws.blocked_v < n then
+      ws.blocked_v <- Array.make (max n (2 * Array.length ws.blocked_v)) false;
+    if Array.length ws.blocked_e < m then begin
+      let bigger = Array.make (max m (2 * Array.length ws.blocked_e)) false in
+      ws.blocked_e <- bigger
+    end
+end
+
+type verdict = Yes of { cut : int list } | No of { paths_seen : int }
+
+let pp_verdict ppf = function
+  | Yes { cut } -> Format.fprintf ppf "YES(cut size %d)" (List.length cut)
+  | No { paths_seen } -> Format.fprintf ppf "NO(%d paths)" paths_seen
+
+let default_ws = Workspace.create ()
+
+let decide ?ws ~mode g ~u ~v ~t ~alpha =
+  if u = v then invalid_arg "Lbc.decide: u = v";
+  if t < 1 then invalid_arg "Lbc.decide: t must be >= 1";
+  if alpha < 0 then invalid_arg "Lbc.decide: alpha must be >= 0";
+  let ws = Option.value ws ~default:default_ws in
+  Workspace.ensure ws ~n:(Graph.n g) ~m:(Graph.m g);
+  let blocked_v = ws.Workspace.blocked_v and blocked_e = ws.Workspace.blocked_e in
+  (* [dirty] tracks mask entries set during this call so they can be undone
+     on exit; masks are false everywhere between calls. *)
+  let dirty = ref [] in
+  let block_vertex x =
+    if not blocked_v.(x) then begin
+      blocked_v.(x) <- true;
+      dirty := x :: !dirty
+    end
+  in
+  let block_edge id =
+    if not blocked_e.(id) then begin
+      blocked_e.(id) <- true;
+      dirty := id :: !dirty
+    end
+  in
+  let cleanup () =
+    match mode with
+    | Fault.VFT -> List.iter (fun x -> blocked_v.(x) <- false) !dirty
+    | Fault.EFT -> List.iter (fun id -> blocked_e.(id) <- false) !dirty
+  in
+  let find_path () =
+    match mode with
+    | Fault.VFT ->
+        Bfs.hop_bounded_path ~ws:ws.Workspace.bfs ~blocked_vertices:blocked_v g
+          ~src:u ~dst:v ~max_hops:t
+    | Fault.EFT ->
+        Bfs.hop_bounded_path ~ws:ws.Workspace.bfs ~blocked_edges:blocked_e g
+          ~src:u ~dst:v ~max_hops:t
+  in
+  let rec rounds i =
+    if i > alpha + 1 then No { paths_seen = alpha + 1 }
+    else
+      match find_path () with
+      | None -> Yes { cut = !dirty }
+      | Some p ->
+          (match mode with
+          | Fault.VFT -> List.iter block_vertex (Path.interior p)
+          | Fault.EFT -> List.iter block_edge p.Path.edges);
+          rounds (i + 1)
+  in
+  let verdict = rounds 1 in
+  cleanup ();
+  verdict

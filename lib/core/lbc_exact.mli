@@ -1,0 +1,27 @@
+(** Exact Length-Bounded Cut by branch-and-bound — the test oracle for
+    Algorithm 2 and the engine of the exponential-time greedy baseline.
+
+    Length-Bounded Cut is NP-hard, so this solver is exponential in the
+    cut size; it is intended for small budgets (the regimes where the
+    exponential greedy of BDPW18/BP19 is runnable at all).  The search
+    branches on the members of a minimum-hop violating path: any valid cut
+    must contain at least one interior vertex (VFT) / edge (EFT) of that
+    path, giving branching factor at most [t - 1] (resp. [t]) and depth at
+    most the budget. *)
+
+(** [min_cut ~mode g ~u ~v ~t ~limit] returns [Some cut] where [cut] is a
+    minimum-cardinality length-[t]-cut of size [<= limit], or [None] when
+    every length-[t]-cut is larger than [limit] (including the case where
+    no cut exists at all, e.g. a direct [u]-[v] edge in VFT mode). *)
+val min_cut :
+  mode:Fault.mode ->
+  Graph.t ->
+  u:int ->
+  v:int ->
+  t:int ->
+  limit:int ->
+  int list option
+
+(** [is_cut ~mode g ~u ~v ~t members] checks the cut property directly: no
+    [u]-[v] path of at most [t] hops survives deleting [members]. *)
+val is_cut : mode:Fault.mode -> Graph.t -> u:int -> v:int -> t:int -> int list -> bool

@@ -1,0 +1,60 @@
+let is_prime q =
+  q >= 2
+  &&
+  let rec check d = d * d > q || (q mod d <> 0 && check (d + 1)) in
+  check 2
+
+(* Projective points of PG(2, q): nonzero triples over GF(q) normalized so
+   that the first nonzero coordinate is 1.  There are q^2 + q + 1 of them:
+   (1, y, z), (0, 1, z), (0, 0, 1). *)
+let projective_points q =
+  let pts = ref [ (0, 0, 1) ] in
+  for z = 0 to q - 1 do
+    pts := (0, 1, z) :: !pts
+  done;
+  for y = 0 to q - 1 do
+    for z = 0 to q - 1 do
+      pts := (1, y, z) :: !pts
+    done
+  done;
+  !pts
+
+let projective_plane_incidence ~q =
+  if not (is_prime q) then
+    invalid_arg "Lower_bound.projective_plane_incidence: q must be prime";
+  let pts = Array.of_list (projective_points q) in
+  let count = Array.length pts in
+  assert (count = (q * q) + q + 1);
+  let g = Graph.create (2 * count) in
+  (* point i is vertex i; line j is vertex count + j; incidence = zero dot
+     product over GF(q). *)
+  for i = 0 to count - 1 do
+    for j = 0 to count - 1 do
+      let xi, yi, zi = pts.(i) and xj, yj, zj = pts.(j) in
+      if ((xi * xj) + (yi * yj) + (zi * zj)) mod q = 0 then
+        ignore (Graph.add_edge_unit g i (count + j))
+    done
+  done;
+  g
+
+let blow_up g ~copies =
+  if copies < 1 then invalid_arg "Lower_bound.blow_up: copies must be >= 1";
+  let n = Graph.n g in
+  let big = Graph.create (n * copies) in
+  Graph.iter_edges g (fun e ->
+      for a = 0 to copies - 1 do
+        for b = 0 to copies - 1 do
+          ignore
+            (Graph.add_edge big
+               ((e.Graph.u * copies) + a)
+               ((e.Graph.v * copies) + b)
+               ~w:e.Graph.w)
+        done
+      done);
+  big
+
+let copies_for ~f =
+  if f < 0 then invalid_arg "Lower_bound.copies_for: f must be >= 0";
+  (f / 2) + 1
+
+let hard_instance ~f g = blow_up g ~copies:(copies_for ~f)

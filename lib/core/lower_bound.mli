@@ -1,0 +1,43 @@
+(** Extremal lower-bound instances for fault-tolerant spanners.
+
+    BDPW18 prove that [O(f^{1-1/k} n^{1+1/k})] is optimal for vertex
+    faults; the hard instances behind such bounds (for [k = 2]) are
+    {e blow-ups of high-girth graphs}:
+
+    - start from a bipartite graph [B] with girth [>= 6] and
+      [Theta(n_B^{3/2})] edges — the incidence graph of a projective plane
+      of order [q] is the classic extremal example (girth exactly 6,
+      [(q+1)]-regular, [n_B = 2(q^2+q+1)]);
+    - replace every vertex by [c = floor(f/2) + 1] copies and every edge
+      by the complete bipartite bundle between the copy sets.
+
+    For any edge [(u_i, v_j)] of the blow-up, faulting the other [c - 1]
+    copies of [u] {e and} of [v] — [2(c-1) <= f] faults — kills every
+    detour of length [<= 3]: 2-hop detours need a common base neighbor
+    (none, [B] is bipartite and simple); 3-hop detours either zigzag
+    through another copy of [u] or [v] (faulted) or project to a 3-hop
+    [u]-[v] path in [B], which with the edge [(u,v)] would close a
+    4-cycle, contradicting girth 6.  Hence an f-VFT 3-spanner must keep
+    {e every} edge: [c^2 m_B = Theta(f^{1/2} n^{3/2})] edges with
+    [n = c n_B] — the BDPW18 lower-bound shape for [k = 2].  Experiment
+    E15 verifies that the paper's greedy indeed keeps everything, i.e. it
+    is {e exactly} optimal on the extremal family. *)
+
+(** [projective_plane_incidence ~q] is the point-line incidence graph of
+    PG(2, q): vertices [0 .. q^2+q] are points, the rest lines; girth 6,
+    [(q+1)]-regular.  Requires [q] prime (the construction works over
+    GF(q); prime powers would need field arithmetic). *)
+val projective_plane_incidence : q:int -> Graph.t
+
+(** [blow_up g ~copies] replaces every vertex by [copies] twins and every
+    edge by the complete [copies x copies] bundle.  Vertex [(v, c)] gets
+    index [v * copies + c].  Weights are inherited. *)
+val blow_up : Graph.t -> copies:int -> Graph.t
+
+(** [copies_for ~f] is [floor(f/2) + 1] — the largest blow-up factor whose
+    every edge is forced with a fault budget of [f]. *)
+val copies_for : f:int -> int
+
+(** [hard_instance ~f g] is [blow_up g ~copies:(copies_for ~f)]; with
+    [girth g >= 6], every f-VFT 3-spanner of it keeps all its edges. *)
+val hard_instance : f:int -> Graph.t -> Graph.t

@@ -1,0 +1,71 @@
+type order =
+  | By_weight
+  | Input_order
+  | Reverse_weight
+  | Shuffled of Rng.t
+  | Explicit of int array
+
+type trace = { lbc_calls : int; bfs_rounds : int; yes_answers : int }
+
+let ordered_edges order g =
+  let edges = Graph.edge_array g in
+  (match order with
+  | By_weight -> Array.sort (fun a b -> compare a.Graph.w b.Graph.w) edges
+  | Input_order -> ()
+  | Reverse_weight -> Array.sort (fun a b -> compare b.Graph.w a.Graph.w) edges
+  | Shuffled rng -> Rng.shuffle rng edges
+  | Explicit perm ->
+      if Array.length perm <> Graph.m g then
+        invalid_arg "Poly_greedy: explicit order must be a permutation of edge ids";
+      let seen = Array.make (Graph.m g) false in
+      Array.iter
+        (fun id ->
+          if id < 0 || id >= Graph.m g || seen.(id) then
+            invalid_arg "Poly_greedy: explicit order must be a permutation of edge ids";
+          seen.(id) <- true)
+        perm;
+      Array.iteri (fun i id -> edges.(i) <- Graph.edge g id) perm);
+  edges
+
+let build_impl ?(order = By_weight) ?on_add ~mode ~k ~f g =
+  if k < 1 then invalid_arg "Poly_greedy.build: k must be >= 1";
+  if f < 0 then invalid_arg "Poly_greedy.build: f must be >= 0";
+  let t = (2 * k) - 1 in
+  let edges = ordered_edges order g in
+  let h = Graph.create (Graph.n g) in
+  let selected = Array.make (Graph.m g) false in
+  let ws = Lbc.Workspace.create () in
+  let lbc_calls = ref 0 and bfs_rounds = ref 0 and yes_answers = ref 0 in
+  let consider e =
+    incr lbc_calls;
+    match Lbc.decide ~ws ~mode h ~u:e.Graph.u ~v:e.Graph.v ~t ~alpha:f with
+    | Lbc.Yes { cut } ->
+        (* A round count: YES after r paths means r+1 BFS calls. *)
+        incr yes_answers;
+        bfs_rounds := !bfs_rounds + f + 1;
+        (match on_add with
+        | Some fn ->
+            (* [cut] holds H-local ids; report the certificate in the
+               source graph's terms (vertex ids coincide; for EFT the
+               H edge ids are translated back below by the caller). *)
+            fn e cut
+        | None -> ());
+        ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
+        selected.(e.Graph.id) <- true
+    | Lbc.No { paths_seen } -> bfs_rounds := !bfs_rounds + paths_seen
+  in
+  Array.iter consider edges;
+  ( Selection.of_mask g selected,
+    { lbc_calls = !lbc_calls; bfs_rounds = !bfs_rounds; yes_answers = !yes_answers } )
+
+let build_traced ?order ~mode ~k ~f g = build_impl ?order ~mode ~k ~f g
+
+let build ?order ~mode ~k ~f g = fst (build_traced ?order ~mode ~k ~f g)
+
+type certificate = { edge : Graph.edge; cut : int list }
+
+let build_with_certificates ?order ~mode ~k ~f g =
+  let certificates = ref [] in
+  let on_add e cut = certificates := { edge = e; cut } :: !certificates in
+  let sel, _ = build_impl ?order ~on_add ~mode ~k ~f g in
+  (sel, List.rev !certificates)

@@ -1,0 +1,76 @@
+(** Algorithms 3 and 4 of the paper: the polynomial-time modified greedy —
+    the headline contribution (Theorem 2).
+
+    The exponential "does some fault set of size [f] disconnect all short
+    detours?" test of Algorithm 1 is replaced by one call to the
+    Length-Bounded Cut gap procedure {!Lbc.decide} with [t = 2k - 1] and
+    [alpha = f]; the candidate edge is added exactly when that call answers
+    [Yes].
+
+    Guarantees (for either fault mode):
+    - {b Correctness} (Theorems 5 and 10): the output is an f-fault-
+      tolerant (2k-1)-spanner.  For weighted graphs the only use of the
+      weights is the nondecreasing processing order — the short-detour
+      test itself is purely hop-based, and the ordering argument converts
+      hop bounds back into weighted stretch.
+    - {b Size} (Theorem 8): at most [O(k f^{1-1/k} n^{1+1/k})] edges, for
+      {e any} processing order.
+    - {b Time} (Theorem 9): [O(m k f^{2-1/k} n^{1+1/k})].
+
+    Because Theorem 8 holds for arbitrary orders, the [order] parameter is
+    exposed: the weighted algorithm (Algorithm 4) is [`By_weight], the
+    unweighted one (Algorithm 3) accepts anything.  Processing out of
+    weight order on a weighted graph voids the stretch guarantee — the
+    ordering-sensitivity experiment (E10) does exactly that on unit-weight
+    graphs, where every order is valid. *)
+
+type order =
+  | By_weight  (** nondecreasing weight — Algorithm 4, the default *)
+  | Input_order  (** edge-id order *)
+  | Reverse_weight  (** nonincreasing weight (ablation only) *)
+  | Shuffled of Rng.t  (** uniformly random order (ablation) *)
+  | Explicit of int array  (** a permutation of edge ids *)
+
+type trace = {
+  lbc_calls : int;  (** = m *)
+  bfs_rounds : int;  (** total BFS invocations inside LBC *)
+  yes_answers : int;  (** = spanner size *)
+}
+
+(** [build ?order ~mode ~k ~f g] runs the modified greedy.  Requires
+    [k >= 1] and [f >= 0] ([f = 0] degenerates to the classic greedy
+    test). *)
+val build : ?order:order -> mode:Fault.mode -> k:int -> f:int -> Graph.t -> Selection.t
+
+(** [build_traced] additionally reports work counters for the running-time
+    experiments. *)
+val build_traced :
+  ?order:order ->
+  mode:Fault.mode ->
+  k:int ->
+  f:int ->
+  Graph.t ->
+  Selection.t * trace
+
+type certificate = {
+  edge : Graph.edge;  (** the edge the greedy added *)
+  cut : int list;
+      (** the YES certificate of {!Lbc.decide} at the moment of addition:
+          a length-(2k-1) cut for the edge's endpoints in the partial
+          spanner, of size at most [(2k-1) f].  In VFT mode these are
+          vertex ids; in EFT mode, edge ids {e of the partial spanner at
+          that moment} (which equals the final spanner restricted to
+          earlier additions). *)
+}
+
+(** [build_with_certificates] records, for every added edge, the fault-set
+    certificate the LBC call produced.  These are exactly the sets [F_e]
+    from which Lemma 6 assembles the (2k)-blocking set; the {!Blocking}
+    module consumes them. *)
+val build_with_certificates :
+  ?order:order ->
+  mode:Fault.mode ->
+  k:int ->
+  f:int ->
+  Graph.t ->
+  Selection.t * certificate list

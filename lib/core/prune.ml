@@ -1,0 +1,42 @@
+type result = { pruned : Selection.t; removed : int; candidates : int }
+
+(* Exact spanner certificate (Lemma 3): for every source edge {u,v} not
+   kept by [mask], no fault set of size <= f pushes the detour distance in
+   the masked spanner above (2k-1)·w(u,v); kept edges are their own
+   detour (and in EFT mode, faulting a kept edge shifts the obligation to
+   the surviving edges of the pair's shortest path, which are each checked
+   here themselves).  Exact in both fault modes and for arbitrary weights,
+   via the exponential-greedy decision procedure. *)
+let still_spanner ~mode ~k ~f g mask =
+  let stretch = float_of_int ((2 * k) - 1) in
+  let sub = Subgraph.of_edge_subset g mask in
+  let h = sub.Subgraph.graph in
+  let ok = ref true in
+  Graph.iter_edges g (fun e ->
+      if !ok && not mask.(e.Graph.id) then
+        if
+          Exp_greedy.exists_fault_set ~mode h ~u:e.Graph.u ~v:e.Graph.v
+            ~budget:(stretch *. e.Graph.w) ~f
+        then ok := false);
+  !ok
+
+let minimalize ~mode ~k ~f sel =
+  let g = sel.Selection.source in
+  let mask = Array.copy sel.Selection.selected in
+  (* Heaviest first: removing an expensive edge is worth the most, and the
+     weighted correctness argument tolerates any removal that keeps the
+     hop-based certificate (detours among kept edges are all no heavier
+     than the removed edge's weight class on greedy outputs). *)
+  let kept =
+    Graph.fold_edges g [] (fun acc e -> if mask.(e.Graph.id) then e :: acc else acc)
+  in
+  let by_weight_desc = List.sort (fun a b -> compare b.Graph.w a.Graph.w) kept in
+  let removed = ref 0 and candidates = ref 0 in
+  List.iter
+    (fun e ->
+      incr candidates;
+      mask.(e.Graph.id) <- false;
+      if still_spanner ~mode ~k ~f g mask then incr removed
+      else mask.(e.Graph.id) <- true)
+    by_weight_desc;
+  { pruned = Selection.of_mask g mask; removed = !removed; candidates = !candidates }

@@ -1,0 +1,25 @@
+(** Sound post-pruning of fault-tolerant spanners — a minimality probe.
+
+    The greedy never removes an edge once added, so its output need not be
+    (inclusion-)minimal.  This pass revisits the selected edges in
+    nonincreasing weight order and deletes an edge whenever the remainder
+    {e provably} stays an f-FT (2k-1)-spanner.  The certificate used is
+    exact (Lemma 3 + the exact Length-Bounded Cut solver: for every source
+    edge, no fault set of size [<= f] destroys all short detours), so
+    pruning preserves correctness unconditionally; it is exponential in
+    [f] and meant for the minimality experiment (E11), not production.
+
+    The measured gap between greedy size and pruned size quantifies how
+    much of the factor-k loss of Theorem 2 (and the approximation slack of
+    Algorithm 2) materializes on real inputs. *)
+
+type result = {
+  pruned : Selection.t;
+  removed : int;  (** edges deleted from the input selection *)
+  candidates : int;  (** edges examined *)
+}
+
+(** [minimalize ~mode ~k ~f sel] runs the pass.  The input must itself be
+    a valid f-FT (2k-1)-spanner (e.g. a greedy output); the output then is
+    one too, and is minimal w.r.t. single-edge removal. *)
+val minimalize : mode:Fault.mode -> k:int -> f:int -> Selection.t -> result

@@ -1,0 +1,50 @@
+(** Facade: one entry point over every spanner construction in the library.
+
+    Use this module when you just want a fault-tolerant spanner and a
+    uniform way to compare algorithms; drop down to the per-algorithm
+    modules ({!Poly_greedy}, {!Exp_greedy}, {!Dk11}, {!Baswana_sen},
+    {!Classic_greedy}) for their specific options. *)
+
+type algorithm =
+  | Greedy_poly  (** Algorithms 3/4 — the paper's contribution (default) *)
+  | Greedy_exponential  (** Algorithm 1 — BDPW18/BP19 baseline *)
+  | Dinitz_krauthgamer  (** DK11 reduction over Baswana-Sen *)
+  | Baswana_sen_union
+      (** DK11 with explicit Baswana-Sen — alias of [Dinitz_krauthgamer],
+          kept for CLI discoverability *)
+
+val algorithm_name : algorithm -> string
+val all_algorithms : algorithm list
+
+type params = {
+  k : int;  (** stretch parameter: the spanner has stretch [2k - 1] *)
+  f : int;  (** number of faults tolerated *)
+  mode : Fault.mode;
+}
+
+(** [stretch params] is [2k - 1] as a float. *)
+val stretch : params -> float
+
+(** [build ?rng ?algorithm params g] constructs an f-fault-tolerant
+    (2k-1)-spanner of [g].  [rng] is required only by randomized
+    algorithms (defaults to a fixed seed). *)
+val build : ?rng:Rng.t -> ?algorithm:algorithm -> params -> Graph.t -> Selection.t
+
+type summary = {
+  algorithm : string;
+  params : params;
+  n : int;
+  m_source : int;
+  m_spanner : int;
+  weight_source : float;
+  weight_spanner : float;
+  bound_ratio : float;
+      (** spanner size divided by the paper's size bound for that
+          algorithm — flat across [n] when the shape matches *)
+}
+
+(** [summarize ~algorithm params sel] computes the comparison record the
+    experiment tables print. *)
+val summarize : algorithm:algorithm -> params -> Selection.t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

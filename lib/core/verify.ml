@@ -1,0 +1,185 @@
+type violation = {
+  fault : Fault.t;
+  u : int;
+  v : int;
+  d_source : float;
+  d_spanner : float;
+}
+
+let pp_violation ppf x =
+  Format.fprintf ppf "@[<h>%a breaks {%d,%d}: d_G\\F=%g, d_H\\F=%g@]" Fault.pp
+    x.fault x.u x.v x.d_source x.d_spanner
+
+type report = { checked : int; violation : violation option }
+
+let ok r = Option.is_none r.violation
+
+let eps = 1e-9
+
+(* Distances from [src] in the source graph and in the spanner, both under
+   the fault set.  The spanner-with-faults is the source graph with
+   "unselected or faulted" edges blocked (see {!Selection.blocked_edges}). *)
+let fault_context sel fault =
+  let g = sel.Selection.source in
+  let bv, be = Fault.masks g fault in
+  let h_blocked =
+    Selection.blocked_edges sel
+      (match fault.Fault.mode with Fault.EFT -> fault.Fault.members | Fault.VFT -> [])
+  in
+  (g, bv, be, h_blocked)
+
+let distances_pair ~unit_graph g bv be h_blocked src =
+  if unit_graph then
+    let to_float a =
+      Array.map (fun d -> if d < 0 then infinity else float_of_int d) a
+    in
+    ( to_float (Bfs.distances ?blocked_vertices:bv ?blocked_edges:be g src),
+      to_float (Bfs.distances ?blocked_vertices:bv ~blocked_edges:h_blocked g src) )
+  else
+    ( Dijkstra.distances ?blocked_vertices:bv ?blocked_edges:be g src,
+      Dijkstra.distances ?blocked_vertices:bv ~blocked_edges:h_blocked g src )
+
+let vertex_faulted bv x =
+  match bv with None -> false | Some a -> a.(x)
+
+let edge_faulted be id =
+  match be with None -> false | Some a -> a.(id)
+
+let check_under_fault sel ~stretch fault =
+  let g, bv, be, h_blocked = fault_context sel fault in
+  let unit_graph = Graph.is_unit_weighted g in
+  let found = ref None in
+  let n = Graph.n g in
+  let src = ref 0 in
+  while !found = None && !src < n do
+    let u = !src in
+    if not (vertex_faulted bv u) then begin
+      let needs_check = ref false in
+      Graph.iter_neighbors g u (fun v id ->
+          if v > u && (not (edge_faulted be id)) && not (vertex_faulted bv v)
+          then needs_check := true);
+      if !needs_check then begin
+        let d_g, d_h = distances_pair ~unit_graph g bv be h_blocked u in
+        Graph.iter_neighbors g u (fun v id ->
+            if
+              !found = None && v > u
+              && (not (edge_faulted be id))
+              && not (vertex_faulted bv v)
+            then begin
+              let w = Graph.weight g id in
+              (* Lemma 3: the spanner condition need only be checked when
+                 the edge realizes the faulted distance. *)
+              if d_g.(v) >= w -. eps && d_h.(v) > (stretch *. w) +. eps then
+                found :=
+                  Some { fault; u; v; d_source = d_g.(v); d_spanner = d_h.(v) }
+            end)
+      end
+    end;
+    incr src
+  done;
+  !found
+
+let max_stretch_under_fault sel fault =
+  let g, bv, be, h_blocked = fault_context sel fault in
+  let unit_graph = Graph.is_unit_weighted g in
+  let worst = ref 1.0 in
+  for u = 0 to Graph.n g - 1 do
+    if not (vertex_faulted bv u) then begin
+      let d_g, d_h = distances_pair ~unit_graph g bv be h_blocked u in
+      Graph.iter_neighbors g u (fun v id ->
+          if v > u && (not (edge_faulted be id)) && not (vertex_faulted bv v)
+          then begin
+            let ratio =
+              if d_g.(v) = infinity then 1.0
+              else if d_h.(v) = infinity then infinity
+              else if d_g.(v) <= eps then 1.0
+              else d_h.(v) /. d_g.(v)
+            in
+            if ratio > !worst then worst := ratio
+          end)
+    end
+  done;
+  !worst
+
+type profile = {
+  samples : int;
+  mean : float;
+  p95 : float;
+  worst : float;
+  disconnections : int;
+}
+
+let pp_profile ppf p =
+  Format.fprintf ppf
+    "stretch over %d fault sets: mean %.3f, p95 %.3f, worst %s (%d disconnections)"
+    p.samples p.mean p.p95
+    (if p.worst = infinity then "inf" else Printf.sprintf "%.3f" p.worst)
+    p.disconnections
+
+let stretch_profile rng sel ~mode ~f ~trials =
+  if trials < 1 then invalid_arg "Verify.stretch_profile: trials must be >= 1";
+  let g = sel.Selection.source in
+  let values = Array.make trials 1.0 in
+  let disconnections = ref 0 in
+  for i = 0 to trials - 1 do
+    let fault =
+      if i mod 2 = 0 then Fault.random rng mode g ~f
+      else Fault.random_adversarial rng mode g ~f
+    in
+    let s = max_stretch_under_fault sel fault in
+    values.(i) <- s;
+    if s = infinity then incr disconnections
+  done;
+  Array.sort compare values;
+  let finite = Array.to_list values |> List.filter (fun v -> v < infinity) in
+  let mean =
+    match finite with
+    | [] -> infinity
+    | _ ->
+        List.fold_left ( +. ) 0. finite /. float_of_int (List.length finite)
+  in
+  let p95 = values.(min (trials - 1) (trials * 95 / 100)) in
+  {
+    samples = trials;
+    mean;
+    p95;
+    worst = values.(trials - 1);
+    disconnections = !disconnections;
+  }
+
+let run_faults sel ~stretch faults =
+  let checked = ref 0 in
+  let violation = ref None in
+  (try
+     faults (fun fault ->
+         incr checked;
+         match check_under_fault sel ~stretch fault with
+         | Some x ->
+             violation := Some x;
+             raise Exit
+         | None -> ())
+   with Exit -> ());
+  { checked = !checked; violation = !violation }
+
+let check_exhaustive ?(max_sets = 2e6) sel ~mode ~stretch ~f =
+  let g = sel.Selection.source in
+  let universe = match mode with Fault.VFT -> Graph.n g | Fault.EFT -> Graph.m g in
+  let total = Fault.count_subsets ~universe ~f in
+  if total > max_sets then
+    invalid_arg
+      (Printf.sprintf
+         "Verify.check_exhaustive: %.3g fault sets exceed the %.3g cap" total
+         max_sets);
+  run_faults sel ~stretch (fun fn -> Fault.enumerate mode g ~f fn)
+
+let check_random rng sel ~mode ~stretch ~f ~trials =
+  run_faults sel ~stretch (fun fn ->
+      for _ = 1 to trials do
+        fn (Fault.random rng mode sel.Selection.source ~f)
+      done)
+
+let check_adversarial rng sel ~mode ~stretch ~f ~trials =
+  run_faults sel ~stretch (fun fn ->
+      for _ = 1 to trials do
+        fn (Fault.random_adversarial rng mode sel.Selection.source ~f)
+      done)

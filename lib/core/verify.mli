@@ -1,0 +1,86 @@
+(** Fault-tolerant spanner verification.
+
+    Checking Definition 1 directly quantifies over every fault set and
+    every vertex pair.  Lemma 3 of the paper cuts the pair quantifier down
+    to {e edges} of the source graph: [H] is an f-FT t-spanner iff for
+    every fault set [F] and every surviving edge [{u,v}] of [G],
+    [d_{H\F}(u,v) <= t * d_{G\F}(u,v)].  (The lemma states it for edges
+    that are shortest paths; checking all surviving edges is equivalent
+    and simpler.)  That is what {!check_under_fault} implements.
+
+    The fault-set quantifier is genuinely exponential; the module offers
+    - {!check_exhaustive}: all fault sets up to size [f] (small inputs —
+      it refuses absurd instance sizes);
+    - {!check_random}: uniform fault sets, plus
+    - {!check_adversarial}: fault sets packed around a single edge's
+      neighborhood, which is what actually breaks non-fault-tolerant
+      spanners in practice. *)
+
+type violation = {
+  fault : Fault.t;
+  u : int;
+  v : int;
+  d_source : float;  (** distance in G \ F *)
+  d_spanner : float;  (** distance in H \ F *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type report = {
+  checked : int;  (** number of fault sets examined *)
+  violation : violation option;  (** first violation found, if any *)
+}
+
+(** [ok report] is [true] when no violation was found. *)
+val ok : report -> bool
+
+(** [check_under_fault sel ~stretch fault] verifies the (Lemma 3) spanner
+    condition for one fault set; [None] means it holds. *)
+val check_under_fault : Selection.t -> stretch:float -> Fault.t -> violation option
+
+(** [check_exhaustive sel ~mode ~stretch ~f ~max_sets] enumerates every
+    fault set of size [<= f].  Raises [Invalid_argument] if there are more
+    than [max_sets] of them (default [2e6]). *)
+val check_exhaustive :
+  ?max_sets:float ->
+  Selection.t ->
+  mode:Fault.mode ->
+  stretch:float ->
+  f:int ->
+  report
+
+(** [check_random rng sel ~mode ~stretch ~f ~trials] samples uniform fault
+    sets. *)
+val check_random :
+  Rng.t -> Selection.t -> mode:Fault.mode -> stretch:float -> f:int -> trials:int -> report
+
+(** [check_adversarial rng sel ~mode ~stretch ~f ~trials] samples fault sets
+    concentrated around random edges (see {!Fault.random_adversarial}). *)
+val check_adversarial :
+  Rng.t -> Selection.t -> mode:Fault.mode -> stretch:float -> f:int -> trials:int -> report
+
+(** Aggregate stretch statistics over sampled fault sets. *)
+type profile = {
+  samples : int;  (** fault sets measured *)
+  mean : float;  (** mean of the per-fault worst stretch *)
+  p95 : float;  (** 95th percentile of the per-fault worst stretch *)
+  worst : float;  (** overall worst stretch observed *)
+  disconnections : int;  (** fault sets under which some surviving pair was
+                             disconnected in the spanner but not in the
+                             source graph *)
+}
+
+val pp_profile : Format.formatter -> profile -> unit
+
+(** [stretch_profile rng sel ~mode ~f ~trials] samples [trials] fault sets
+    (alternating uniform and adversarial) and aggregates
+    {!max_stretch_under_fault} over them — the empirical counterpart of
+    the worst-case stretch guarantee. *)
+val stretch_profile :
+  Rng.t -> Selection.t -> mode:Fault.mode -> f:int -> trials:int -> profile
+
+(** [max_stretch_under_fault sel fault] measures the worst ratio
+    [d_{H\F}(u,v) / d_{G\F}(u,v)] over surviving source edges [{u,v}]
+    (1.0 when every surviving edge is kept; [infinity] if some pair is
+    disconnected in [H\F] but connected in [G\F]). *)
+val max_stretch_under_fault : Selection.t -> Fault.t -> float

@@ -1,0 +1,79 @@
+type t = {
+  g : Graph.t;
+  rng : Rng.t;
+  min_delay : float;
+  max_delay : float;
+  queue : Pqueue.t;
+  mutable handlers : (unit -> unit) array;
+  mutable handler_count : int;
+  mutable clock : float;
+  mutable sent : int;
+}
+
+let nop () = ()
+
+let create rng ?(min_delay = 0.1) ?(max_delay = 1.0) g =
+  if min_delay < 0. || max_delay < min_delay then
+    invalid_arg "Async_net.create: need 0 <= min_delay <= max_delay";
+  {
+    g;
+    rng;
+    min_delay;
+    max_delay;
+    queue = Pqueue.create ~capacity:64;
+    handlers = Array.make 64 nop;
+    handler_count = 0;
+    clock = 0.;
+    sent = 0;
+  }
+
+let now net = net.clock
+let messages net = net.sent
+
+let push net ~time handler =
+  if net.handler_count = Array.length net.handlers then begin
+    let bigger = Array.make (2 * net.handler_count) nop in
+    Array.blit net.handlers 0 bigger 0 net.handler_count;
+    net.handlers <- bigger
+  end;
+  let idx = net.handler_count in
+  net.handlers.(idx) <- handler;
+  net.handler_count <- idx + 1;
+  Pqueue.push net.queue time idx
+
+let at net ~time handler =
+  if time < net.clock then invalid_arg "Async_net.at: time is in the past";
+  push net ~time handler
+
+let send net ~src ~dst handler =
+  (match Graph.find_edge net.g src dst with
+  | Some _ -> ()
+  | None ->
+      invalid_arg (Printf.sprintf "Async_net.send: %d and %d are not adjacent" src dst));
+  net.sent <- net.sent + 1;
+  let delay =
+    net.min_delay +. Rng.float net.rng (net.max_delay -. net.min_delay +. 1e-12)
+  in
+  push net ~time:(net.clock +. delay) handler
+
+let run ?(until = infinity) ?(max_events = max_int) net =
+  let processed = ref 0 in
+  let continue = ref true in
+  while !continue && !processed < max_events do
+    match Pqueue.pop_min net.queue with
+    | None -> continue := false
+    | Some (time, idx) ->
+        if time > until then begin
+          (* put it back for a later run and stop *)
+          Pqueue.push net.queue time idx;
+          continue := false
+        end
+        else begin
+          net.clock <- max net.clock time;
+          incr processed;
+          let handler = net.handlers.(idx) in
+          net.handlers.(idx) <- nop;
+          handler ()
+        end
+  done;
+  !processed

@@ -1,0 +1,40 @@
+(** Event-driven asynchronous network simulator.
+
+    The synchronous simulator ({!Net}) serves the paper's LOCAL/CONGEST
+    algorithms; this one serves the {e applications} of spanners in
+    asynchronous systems (synchronizers, Peleg-Ullman 1989 — one of the
+    motivating applications in the paper's introduction).  Messages sent
+    along an edge are delivered after an independent uniformly random
+    delay in [[min_delay, max_delay]]; computation is event-driven and
+    instantaneous.
+
+    Delivery handlers are closures, so the simulator is protocol-agnostic:
+    {!send} counts one message and schedules the handler at the delivery
+    time; {!at} schedules a timer.  [run] drains the event queue in time
+    order (deterministically, given the {!Rng.t}). *)
+
+type t
+
+(** [create rng ?min_delay ?max_delay g] builds an idle network over [g]
+    (defaults: delays uniform in [[0.1, 1.0]]). *)
+val create : Rng.t -> ?min_delay:float -> ?max_delay:float -> Graph.t -> t
+
+(** [now net] is the current simulation time. *)
+val now : t -> float
+
+(** [messages net] counts messages sent so far. *)
+val messages : t -> int
+
+(** [send net ~src ~dst handler] sends one message along the edge
+    [{src,dst}] (must exist); [handler] runs at the delivery time.
+    Raises [Invalid_argument] for non-adjacent pairs. *)
+val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
+
+(** [at net ~time handler] schedules a timer ([time] must not be in the
+    past). *)
+val at : t -> time:float -> (unit -> unit) -> unit
+
+(** [run ?until ?max_events net] processes events in time order until the
+    queue is empty (or [until]/[max_events] is hit).  Returns the number
+    of events processed. *)
+val run : ?until:float -> ?max_events:int -> t -> int

@@ -1,0 +1,44 @@
+(** Padded low-diameter decompositions in the LOCAL model (Theorem 11).
+
+    Built from random exponential shifts (Miller-Peng-Xu style, also
+    implicit in the padded decompositions of Dinitz-Krauthgamer): every
+    vertex [u] draws [delta_u ~ Exp(beta)] and every vertex joins the
+    cluster of the [u] maximizing [delta_u - d_hop(u, v)].  Flooding the
+    winning offers for [ceil(max delta)] rounds computes the assignment;
+    an edge is cut with probability [O(beta)], cluster hop-radius is
+    [max delta = O(log n / beta)] w.h.p.
+
+    Repeating with [ell = Theta(log n)] independent partitions makes every
+    edge interior to some cluster w.h.p.  All [ell] floods run
+    simultaneously — LOCAL messages are unbounded, so a round carries one
+    offer per partition — giving [O(log n)] rounds total, as Theorem 11
+    requires. *)
+
+type clustering = {
+  center_of : int array;  (** cluster center per vertex *)
+  parent_of : int array;  (** BFS-tree parent within the cluster, [-1] at
+                              the center *)
+  depth_of : int array;  (** hop depth below the center *)
+}
+
+type t = {
+  partitions : clustering array;
+  covered : bool array;
+      (** per edge of the source graph: do both endpoints share a cluster
+          in some partition? (Theorem 11.4 says w.h.p. all-true.) *)
+  rounds : int;  (** LOCAL rounds consumed *)
+  max_depth : int;  (** largest cluster tree depth over all partitions *)
+  stats : Net.stats;
+}
+
+(** [coverage t] is the fraction of covered edges ([1.0] = padded). *)
+val coverage : t -> float
+
+(** [cluster_members c] groups vertices by center: returns an association
+    list [(center, members)]. *)
+val cluster_members : clustering -> (int * int list) list
+
+(** [run rng ?beta ?partitions g] computes the decomposition.  [beta]
+    defaults to [0.25]; [partitions] defaults to
+    [max 1 (ceil (2 * log2 n))]. *)
+val run : Rng.t -> ?beta:float -> ?partitions:int -> Graph.t -> t

@@ -1,0 +1,122 @@
+type model = Local | Congest of int
+
+type stats = {
+  rounds : int;
+  messages : int;
+  total_bits : int;
+  max_message_bits : int;
+  max_edge_round_bits : int;
+  congest_violations : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "rounds=%d messages=%d bits=%d max_msg=%db max_edge_load=%db violations=%d"
+    s.rounds s.messages s.total_bits s.max_message_bits s.max_edge_round_bits
+    s.congest_violations
+
+type 'msg t = {
+  g : Graph.t;
+  model : model;
+  bits : 'msg -> int;
+  record_history : bool;
+  mutable staged : (int * 'msg) list array;  (* per destination *)
+  mutable delivered : (int * 'msg) list array;
+  mutable round : int;
+  mutable messages : int;
+  mutable total_bits : int;
+  mutable max_message_bits : int;
+  mutable max_edge_round_bits : int;
+  mutable congest_violations : int;
+  edge_round_bits : int array;  (* 2m slots: per edge per direction *)
+  mutable touched : int list;  (* slots dirtied this round *)
+  mutable past_rounds : (int * int * int) list list;  (* reverse order *)
+}
+
+let create ?(record_history = false) ~model ~bits g =
+  let n = Graph.n g in
+  {
+    g;
+    model;
+    bits;
+    record_history;
+    staged = Array.make n [];
+    delivered = Array.make n [];
+    round = 0;
+    messages = 0;
+    total_bits = 0;
+    max_message_bits = 0;
+    max_edge_round_bits = 0;
+    congest_violations = 0;
+    edge_round_bits = Array.make (max 1 (2 * Graph.m g)) 0;
+    touched = [];
+    past_rounds = [];
+  }
+
+let graph net = net.g
+
+let slot net ~src ~dst =
+  match Graph.find_edge net.g src dst with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Net.send: %d and %d are not adjacent" src dst)
+  | Some id ->
+      let dir = if src < dst then 0 else 1 in
+      ((2 * id) + dir, id, dir)
+
+let send net ~src ~dst msg =
+  let s, _, _ = slot net ~src ~dst in
+  let b = net.bits msg in
+  net.messages <- net.messages + 1;
+  net.total_bits <- net.total_bits + b;
+  if b > net.max_message_bits then net.max_message_bits <- b;
+  (match net.model with
+  | Local -> ()
+  | Congest cap -> if b > cap then net.congest_violations <- net.congest_violations + 1);
+  if net.edge_round_bits.(s) = 0 then net.touched <- s :: net.touched;
+  net.edge_round_bits.(s) <- net.edge_round_bits.(s) + b;
+  if net.edge_round_bits.(s) > net.max_edge_round_bits then
+    net.max_edge_round_bits <- net.edge_round_bits.(s);
+  net.staged.(dst) <- (src, msg) :: net.staged.(dst)
+
+let broadcast net ~src msg =
+  Graph.iter_neighbors net.g src (fun dst _ -> send net ~src ~dst msg)
+
+let next_round net =
+  let tmp = net.delivered in
+  net.delivered <- net.staged;
+  Array.fill tmp 0 (Array.length tmp) [];
+  net.staged <- tmp;
+  if net.record_history then begin
+    let loads =
+      List.map
+        (fun s -> (s / 2, s mod 2, net.edge_round_bits.(s)))
+        net.touched
+    in
+    net.past_rounds <- loads :: net.past_rounds
+  end;
+  List.iter (fun s -> net.edge_round_bits.(s) <- 0) net.touched;
+  net.touched <- [];
+  net.round <- net.round + 1
+
+let inbox net v = net.delivered.(v)
+
+let charge_rounds net k =
+  if k < 0 then invalid_arg "Net.charge_rounds: negative";
+  if net.record_history then
+    for _ = 1 to k do
+      net.past_rounds <- [] :: net.past_rounds
+    done;
+  net.round <- net.round + k
+
+let stats net =
+  {
+    rounds = net.round;
+    messages = net.messages;
+    total_bits = net.total_bits;
+    max_message_bits = net.max_message_bits;
+    max_edge_round_bits = net.max_edge_round_bits;
+    congest_violations = net.congest_violations;
+  }
+
+let history net = Array.of_list (List.rev net.past_rounds)

@@ -1,0 +1,82 @@
+(** Synchronous message-passing network simulator with LOCAL/CONGEST
+    accounting.
+
+    Both distributed models of the paper (Peleg's LOCAL and CONGEST) share
+    the synchronous round structure: in each round every node may send one
+    message per incident edge, then all messages are delivered
+    simultaneously.  They differ only in the bandwidth constraint — LOCAL
+    messages are unbounded, CONGEST messages carry [O(log n)] bits.
+
+    The simulator delivers messages in lockstep rounds and {e accounts}
+    bandwidth instead of physically limiting it: every send is measured by
+    the caller-supplied [bits] function, per-(edge, round) totals are
+    tracked, and sends exceeding the CONGEST capacity are recorded as
+    violations.  Algorithm implementations are therefore forced to route
+    all information flow along edges one round at a time (the quantity the
+    paper's Section 5 theorems bound), while tests can assert that the
+    CONGEST constructions never violate the bandwidth budget.
+
+    Optionally the simulator records the per-round, per-edge bit usage
+    history; the Theorem 15 construction uses this to compute the
+    congestion-scheduled cost of running many Baswana-Sen instances in
+    parallel. *)
+
+type model =
+  | Local
+  | Congest of int  (** per-edge per-direction capacity in bits per round *)
+
+type stats = {
+  rounds : int;
+  messages : int;
+  total_bits : int;
+  max_message_bits : int;
+  max_edge_round_bits : int;
+      (** busiest (edge, direction, round) load observed *)
+  congest_violations : int;
+      (** sends that individually exceeded the CONGEST capacity *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type 'msg t
+
+(** [create ~model ~bits g] builds an idle network over the topology [g].
+    [bits] measures message sizes.  Set [record_history] to retain
+    per-round edge loads (see {!history}). *)
+val create : ?record_history:bool -> model:model -> bits:('msg -> int) -> Graph.t -> 'msg t
+
+(** [graph net] is the underlying topology. *)
+val graph : 'msg t -> Graph.t
+
+(** [send net ~src ~dst msg] stages a message for delivery at the end of
+    the current round.  [dst] must be adjacent to [src] (this is a
+    message-passing network, not shared memory); raises [Invalid_argument]
+    otherwise. *)
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+(** [broadcast net ~src msg] stages [msg] on every edge incident to
+    [src]. *)
+val broadcast : 'msg t -> src:int -> 'msg -> unit
+
+(** [next_round net] delivers all staged messages and advances the round
+    counter.  Messages staged in round [r] are readable (only) during
+    round [r + 1]. *)
+val next_round : 'msg t -> unit
+
+(** [inbox net v] lists [(sender, message)] pairs delivered to [v] at the
+    start of the current round (i.e. sent during the previous one). *)
+val inbox : 'msg t -> int -> (int * 'msg) list
+
+(** [charge_rounds net k] advances the round counter by [k] without any
+    message traffic — used to account for sub-protocols whose round cost
+    is known but which the caller executes in aggregate form. *)
+val charge_rounds : 'msg t -> int -> unit
+
+(** [stats net] snapshots the accounting counters. *)
+val stats : 'msg t -> stats
+
+(** [history net] returns, for each completed round, the list of
+    [(edge_id, direction, bits)] loads ([direction] is [0] when the sender
+    is the edge's smaller endpoint).  Empty unless [record_history] was
+    set. *)
+val history : 'msg t -> (int * int * int) list array

@@ -1,0 +1,85 @@
+let vertex_blocked mask x =
+  match mask with
+  | None -> false
+  | Some a -> x < Array.length a && a.(x)
+
+let edge_blocked mask id =
+  match mask with
+  | None -> false
+  | Some a -> id < Array.length a && a.(id)
+
+(* Shared core: Dijkstra with lazy deletion.  Stops early when [stop_at]
+   is settled or the frontier key exceeds [cutoff].  Fills [dist] and
+   [parent_edge]/[parent_vertex] when provided. *)
+let run ?blocked_vertices ?blocked_edges ?parent_edge ?parent_vertex
+    ?(cutoff = infinity) ?stop_at g src dist =
+  let heap = Pqueue.create ~capacity:(Graph.n g) in
+  if not (vertex_blocked blocked_vertices src) then begin
+    dist.(src) <- 0.;
+    Pqueue.push heap 0. src
+  end;
+  let settled = Array.make (Graph.n g) false in
+  let stop = ref false in
+  while (not !stop) && not (Pqueue.is_empty heap) do
+    match Pqueue.pop_min heap with
+    | None -> stop := true
+    | Some (d, x) ->
+        if not settled.(x) then begin
+          settled.(x) <- true;
+          if d > cutoff then stop := true
+          else if Some x = stop_at then stop := true
+          else
+            let relax y id =
+              if
+                (not settled.(y))
+                && (not (edge_blocked blocked_edges id))
+                && not (vertex_blocked blocked_vertices y)
+              then begin
+                let nd = d +. Graph.weight g id in
+                if nd < dist.(y) && nd <= cutoff then begin
+                  dist.(y) <- nd;
+                  (match parent_edge with Some a -> a.(y) <- id | None -> ());
+                  (match parent_vertex with Some a -> a.(y) <- x | None -> ());
+                  Pqueue.push heap nd y
+                end
+              end
+            in
+            Graph.iter_neighbors g x relax
+        end
+  done
+
+let distances ?blocked_vertices ?blocked_edges g src =
+  let dist = Array.make (Graph.n g) infinity in
+  run ?blocked_vertices ?blocked_edges g src dist;
+  dist
+
+let distance_upto ?blocked_vertices ?blocked_edges g ~src ~dst ~cutoff =
+  if vertex_blocked blocked_vertices src || vertex_blocked blocked_vertices dst
+  then None
+  else if src = dst then Some 0.
+  else begin
+    let dist = Array.make (Graph.n g) infinity in
+    run ?blocked_vertices ?blocked_edges ~cutoff ~stop_at:dst g src dist;
+    if dist.(dst) <= cutoff then Some dist.(dst) else None
+  end
+
+let shortest_path ?blocked_vertices ?blocked_edges g ~src ~dst =
+  if vertex_blocked blocked_vertices src || vertex_blocked blocked_vertices dst
+  then None
+  else if src = dst then Some { Path.vertices = [ src ]; edges = [] }
+  else begin
+    let n = Graph.n g in
+    let dist = Array.make n infinity in
+    let parent_edge = Array.make n (-1) in
+    let parent_vertex = Array.make n (-1) in
+    run ?blocked_vertices ?blocked_edges ~parent_edge ~parent_vertex
+      ~stop_at:dst g src dist;
+    if dist.(dst) = infinity then None
+    else begin
+      let rec climb x vertices edges =
+        if x = src then Some { Path.vertices = src :: vertices; edges }
+        else climb parent_vertex.(x) (x :: vertices) (parent_edge.(x) :: edges)
+      in
+      climb dst [] []
+    end
+  end

@@ -1,0 +1,40 @@
+(** Weighted shortest paths under fault masks.
+
+    Used by the classic (non-fault-tolerant) greedy spanner, the
+    exponential-time greedy baseline, and the verifier, all of which need
+    weighted distances in a graph with some vertices/edges removed. *)
+
+(** [distances ?blocked_vertices ?blocked_edges g src] returns weighted
+    distances from [src]; unreachable (or blocked) vertices get
+    [infinity]. *)
+val distances :
+  ?blocked_vertices:bool array ->
+  ?blocked_edges:bool array ->
+  Graph.t ->
+  int ->
+  float array
+
+(** [distance_upto ?blocked_vertices ?blocked_edges g ~src ~dst ~cutoff]
+    returns [Some d] if the shortest-path distance [d] from [src] to [dst]
+    satisfies [d <= cutoff], and [None] otherwise.  The search stops as
+    soon as the frontier exceeds [cutoff], which makes the greedy spanner's
+    "is this edge already spanned?" test cheap on sparse partial
+    spanners. *)
+val distance_upto :
+  ?blocked_vertices:bool array ->
+  ?blocked_edges:bool array ->
+  Graph.t ->
+  src:int ->
+  dst:int ->
+  cutoff:float ->
+  float option
+
+(** [shortest_path ?blocked_vertices ?blocked_edges g ~src ~dst] returns a
+    lowest-weight path, if one exists. *)
+val shortest_path :
+  ?blocked_vertices:bool array ->
+  ?blocked_edges:bool array ->
+  Graph.t ->
+  src:int ->
+  dst:int ->
+  Path.t option

@@ -1,0 +1,252 @@
+let complete n =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      ignore (Graph.add_edge_unit g u v)
+    done
+  done;
+  g
+
+let path n =
+  let g = Graph.create n in
+  for u = 0 to n - 2 do
+    ignore (Graph.add_edge_unit g u (u + 1))
+  done;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
+  let g = path n in
+  ignore (Graph.add_edge_unit g (n - 1) 0);
+  g
+
+let grid ~rows ~cols =
+  let g = Graph.create (rows * cols) in
+  let idx r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then ignore (Graph.add_edge_unit g (idx r c) (idx r (c + 1)));
+      if r + 1 < rows then ignore (Graph.add_edge_unit g (idx r c) (idx (r + 1) c))
+    done
+  done;
+  g
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus: need rows, cols >= 3";
+  let g = grid ~rows ~cols in
+  let idx r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    ignore (Graph.add_edge_unit g (idx r (cols - 1)) (idx r 0))
+  done;
+  for c = 0 to cols - 1 do
+    ignore (Graph.add_edge_unit g (idx (rows - 1) c) (idx 0 c))
+  done;
+  g
+
+let hypercube ~dim =
+  if dim < 0 || dim > 20 then invalid_arg "Generators.hypercube: dim out of range";
+  let n = 1 lsl dim in
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      let v = u lxor (1 lsl b) in
+      if v > u then ignore (Graph.add_edge_unit g u v)
+    done
+  done;
+  g
+
+let gnp rng ~n ~p =
+  let g = Graph.create n in
+  if p > 0. then
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Rng.bernoulli rng ~p then ignore (Graph.add_edge_unit g u v)
+      done
+    done;
+  g
+
+let gnm rng ~n ~m =
+  let max_m = n * (n - 1) / 2 in
+  if m < 0 || m > max_m then invalid_arg "Generators.gnm: m out of range";
+  let g = Graph.create n in
+  (* Rejection sampling is fine up to half density; fall back to sampling
+     edge slots without replacement for denser requests. *)
+  if 2 * m <= max_m then begin
+    while Graph.m g < m do
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v && not (Graph.mem_edge g u v) then ignore (Graph.add_edge_unit g u v)
+    done;
+    g
+  end
+  else begin
+    let slots = Rng.sample_without_replacement rng ~k:m ~n:max_m in
+    (* Slot s encodes the s-th pair (u,v) in lexicographic order. *)
+    let decode s =
+      let rec find u acc =
+        let row = n - 1 - u in
+        if s < acc + row then (u, u + 1 + (s - acc)) else find (u + 1) (acc + row)
+      in
+      find 0 0
+    in
+    List.iter
+      (fun s ->
+        let u, v = decode s in
+        ignore (Graph.add_edge_unit g u v))
+      slots;
+    g
+  end
+
+let random_geometric rng ~n ~radius ~euclidean_weights =
+  let pts = Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0)) in
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let xu, yu = pts.(u) and xv, yv = pts.(v) in
+      let d = sqrt (((xu -. xv) ** 2.) +. ((yu -. yv) ** 2.)) in
+      if d <= radius then
+        let w = if euclidean_weights then max d 1e-9 else 1.0 in
+        ignore (Graph.add_edge g u v ~w)
+    done
+  done;
+  g
+
+let barabasi_albert rng ~n ~attach =
+  if attach < 1 || n < attach + 1 then
+    invalid_arg "Generators.barabasi_albert: need n >= attach+1 >= 2";
+  let g = complete (attach + 1) in
+  let g =
+    let bigger = Graph.create n in
+    Graph.iter_edges g (fun e -> ignore (Graph.add_edge_unit bigger e.Graph.u e.Graph.v));
+    bigger
+  in
+  (* endpoint multiset: each edge contributes both endpoints, so sampling a
+     uniform entry is degree-proportional sampling. *)
+  let endpoints = ref [] in
+  Graph.iter_edges g (fun e ->
+      endpoints := e.Graph.u :: e.Graph.v :: !endpoints);
+  let stubs = ref (Array.of_list !endpoints) in
+  let stub_count = ref (Array.length !stubs) in
+  let push x =
+    if !stub_count = Array.length !stubs then begin
+      let bigger = Array.make (max 8 (2 * !stub_count)) 0 in
+      Array.blit !stubs 0 bigger 0 !stub_count;
+      stubs := bigger
+    end;
+    !stubs.(!stub_count) <- x;
+    incr stub_count
+  in
+  for v = attach + 1 to n - 1 do
+    let chosen = ref [] in
+    while List.length !chosen < attach do
+      let t = !stubs.(Rng.int rng !stub_count) in
+      if t <> v && not (List.mem t !chosen) then chosen := t :: !chosen
+    done;
+    List.iter
+      (fun t ->
+        ignore (Graph.add_edge_unit g v t);
+        push v;
+        push t)
+      !chosen
+  done;
+  g
+
+let random_regular rng ~n ~d =
+  if d >= n || n * d mod 2 <> 0 then
+    invalid_arg "Generators.random_regular: need d < n and n*d even";
+  let attempt () =
+    let stubs = Array.make (n * d) 0 in
+    for i = 0 to (n * d) - 1 do
+      stubs.(i) <- i / d
+    done;
+    Rng.shuffle rng stubs;
+    let g = Graph.create n in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i + 1 < n * d do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      if u = v || Graph.mem_edge g u v then ok := false
+      else ignore (Graph.add_edge_unit g u v);
+      i := !i + 2
+    done;
+    if !ok then Some g else None
+  in
+  let rec retry tries =
+    if tries > 10_000 then
+      failwith "Generators.random_regular: too many restarts (d too close to n?)"
+    else
+      match attempt () with Some g -> g | None -> retry (tries + 1)
+  in
+  retry 0
+
+let cycle_with_chords rng ~n ~chords =
+  let g = cycle n in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 100 * (chords + 1) in
+  while !added < chords && !attempts < max_attempts do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && not (Graph.mem_edge g u v) then begin
+      ignore (Graph.add_edge_unit g u v);
+      incr added
+    end
+  done;
+  g
+
+let planted_partition rng ~blocks ~block_size ~p_in ~p_out =
+  let n = blocks * block_size in
+  let g = Graph.create n in
+  let block v = v / block_size in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let p = if block u = block v then p_in else p_out in
+      if Rng.bernoulli rng ~p then ignore (Graph.add_edge_unit g u v)
+    done
+  done;
+  g
+
+let with_uniform_weights rng g ~lo ~hi =
+  let out = Graph.create (Graph.n g) in
+  Graph.iter_edges g (fun e ->
+      let w = Rng.uniform_weight rng ~lo ~hi in
+      ignore (Graph.add_edge out e.Graph.u e.Graph.v ~w));
+  out
+
+let ensure_connected rng g =
+  let out = Graph.copy g in
+  let label, count = Components.labels out in
+  if count <= 1 then out
+  else begin
+    (* Pick one representative per component, chain them with random
+       partner vertices to avoid a star on representatives. *)
+    let reps = Array.make count (-1) in
+    Array.iteri (fun v c -> if c >= 0 && reps.(c) < 0 then reps.(c) <- v) label;
+    let uf = Union_find.create (Graph.n out) in
+    Graph.iter_edges out (fun e -> ignore (Union_find.union uf e.Graph.u e.Graph.v));
+    for c = 1 to count - 1 do
+      let u = reps.(c) in
+      (* random vertex from the already-merged part *)
+      let scan_partner () =
+        let v = ref (-1) in
+        for x = 0 to Graph.n out - 1 do
+          if !v < 0 && not (Union_find.same uf u x) then v := x
+        done;
+        !v
+      in
+      let rec pick_partner tries =
+        if tries > 1000 then scan_partner ()
+        else
+          let v = Rng.int rng (Graph.n out) in
+          if (not (Union_find.same uf u v)) && not (Graph.mem_edge out u v) then v
+          else pick_partner (tries + 1)
+      in
+      let v = pick_partner 0 in
+      if not (Graph.mem_edge out u v) then begin
+        ignore (Graph.add_edge_unit out u v);
+        ignore (Union_find.union uf u v)
+      end
+    done;
+    out
+  end
+
+let connected_gnp rng ~n ~p = ensure_connected rng (gnp rng ~n ~p)

@@ -1,0 +1,87 @@
+(** Graph generators: the workload suite for every experiment.
+
+    The paper's algorithms are input-agnostic, so the evaluation sweeps
+    standard families: Erdős–Rényi graphs (the main density-controlled
+    family), structured graphs (grids, tori, hypercubes — good for
+    distributed experiments because their diameter is known), geometric
+    graphs (the historical home of fault-tolerant spanners), preferential-
+    attachment and planted-partition graphs (skewed degree / community
+    structure), and random regular graphs.
+
+    All randomized generators take an explicit {!Rng.t}.  Generated graphs
+    are always simple; unless a weights option says otherwise they are
+    unit-weighted. *)
+
+(** {1 Deterministic families} *)
+
+(** [complete n] is K_n (unit weights). *)
+val complete : int -> Graph.t
+
+(** [path n] is the path on [n] vertices. *)
+val path : int -> Graph.t
+
+(** [cycle n] is the cycle on [n >= 3] vertices. *)
+val cycle : int -> Graph.t
+
+(** [grid ~rows ~cols] is the [rows x cols] grid; vertex [(r,c)] has index
+    [r * cols + c]. *)
+val grid : rows:int -> cols:int -> Graph.t
+
+(** [torus ~rows ~cols] is the grid with wraparound edges (requires
+    [rows >= 3] and [cols >= 3] to stay simple). *)
+val torus : rows:int -> cols:int -> Graph.t
+
+(** [hypercube ~dim] is the [dim]-dimensional boolean hypercube on [2^dim]
+    vertices. *)
+val hypercube : dim:int -> Graph.t
+
+(** {1 Random families} *)
+
+(** [gnp rng ~n ~p] is an Erdős–Rényi graph: each of the [C(n,2)] edges
+    appears independently with probability [p]. *)
+val gnp : Rng.t -> n:int -> p:float -> Graph.t
+
+(** [gnm rng ~n ~m] draws [m] distinct edges uniformly at random.  Requires
+    [m <= C(n,2)]. *)
+val gnm : Rng.t -> n:int -> m:int -> Graph.t
+
+(** [random_geometric rng ~n ~radius ~euclidean_weights] scatters [n] points
+    uniformly in the unit square and joins points at Euclidean distance
+    [<= radius]; if [euclidean_weights] then each edge is weighted by that
+    distance, otherwise unit weights. *)
+val random_geometric :
+  Rng.t -> n:int -> radius:float -> euclidean_weights:bool -> Graph.t
+
+(** [barabasi_albert rng ~n ~attach] grows a preferential-attachment graph:
+    starts from a clique on [attach + 1] vertices, then each new vertex
+    attaches to [attach] distinct existing vertices chosen proportionally
+    to degree. *)
+val barabasi_albert : Rng.t -> n:int -> attach:int -> Graph.t
+
+(** [random_regular rng ~n ~d] samples a simple [d]-regular graph by the
+    configuration model with restarts.  Requires [n * d] even and
+    [d < n]. *)
+val random_regular : Rng.t -> n:int -> d:int -> Graph.t
+
+(** [cycle_with_chords rng ~n ~chords] is a Hamiltonian cycle plus [chords]
+    random chords — a highly fault-tolerant family with girth control. *)
+val cycle_with_chords : Rng.t -> n:int -> chords:int -> Graph.t
+
+(** [planted_partition rng ~blocks ~block_size ~p_in ~p_out] is the
+    stochastic block model with equal-size blocks. *)
+val planted_partition :
+  Rng.t -> blocks:int -> block_size:int -> p_in:float -> p_out:float -> Graph.t
+
+(** {1 Transformations} *)
+
+(** [with_uniform_weights rng g ~lo ~hi] is a copy of [g] whose weights are
+    redrawn uniformly from [[lo, hi]]. *)
+val with_uniform_weights : Rng.t -> Graph.t -> lo:float -> hi:float -> Graph.t
+
+(** [ensure_connected rng g] is a copy of [g] plus a uniformly random edge
+    between components until connected (no-op if already connected). *)
+val ensure_connected : Rng.t -> Graph.t -> Graph.t
+
+(** [connected_gnp rng ~n ~p] is [ensure_connected] of [gnp] — the workhorse
+    input for the size-scaling experiments. *)
+val connected_gnp : Rng.t -> n:int -> p:float -> Graph.t

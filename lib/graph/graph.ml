@@ -1,0 +1,138 @@
+type edge = { u : int; v : int; w : float; id : int }
+
+type t = {
+  size : int;
+  mutable count : int;
+  mutable store : edge array;  (* first [count] slots are valid *)
+  adj : (int * int) list array;
+}
+
+let dummy_edge = { u = -1; v = -1; w = 0.; id = -1 }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { size = n; count = 0; store = Array.make (max 8 n) dummy_edge; adj = Array.make n [] }
+
+let n g = g.size
+let m g = g.count
+
+let check_vertex g x name =
+  if x < 0 || x >= g.size then
+    invalid_arg (Printf.sprintf "Graph.%s: vertex %d out of range [0,%d)" name x g.size)
+
+let neighbors g u =
+  check_vertex g u "neighbors";
+  g.adj.(u)
+
+let degree g u =
+  check_vertex g u "degree";
+  List.length g.adj.(u)
+
+let find_edge g u v =
+  check_vertex g u "find_edge";
+  check_vertex g v "find_edge";
+  let rec scan = function
+    | [] -> None
+    | (x, id) :: rest -> if x = v then Some id else scan rest
+  in
+  scan g.adj.(u)
+
+let mem_edge g u v = Option.is_some (find_edge g u v)
+
+let grow g =
+  let cap = Array.length g.store in
+  if g.count = cap then begin
+    let bigger = Array.make (2 * cap) dummy_edge in
+    Array.blit g.store 0 bigger 0 cap;
+    g.store <- bigger
+  end
+
+let add_edge g u v ~w =
+  check_vertex g u "add_edge";
+  check_vertex g v "add_edge";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if w <= 0. then invalid_arg "Graph.add_edge: non-positive weight";
+  if mem_edge g u v then
+    invalid_arg (Printf.sprintf "Graph.add_edge: duplicate edge {%d,%d}" u v);
+  let lo = min u v and hi = max u v in
+  let id = g.count in
+  grow g;
+  g.store.(id) <- { u = lo; v = hi; w; id };
+  g.count <- id + 1;
+  g.adj.(u) <- (v, id) :: g.adj.(u);
+  g.adj.(v) <- (u, id) :: g.adj.(v);
+  id
+
+let add_edge_unit g u v = add_edge g u v ~w:1.0
+
+let of_edges n pairs =
+  let g = create n in
+  List.iter (fun (u, v) -> ignore (add_edge_unit g u v)) pairs;
+  g
+
+let of_weighted_edges n triples =
+  let g = create n in
+  List.iter (fun (u, v, w) -> ignore (add_edge g u v ~w)) triples;
+  g
+
+let edge g id =
+  if id < 0 || id >= g.count then
+    invalid_arg (Printf.sprintf "Graph.edge: id %d out of range [0,%d)" id g.count);
+  g.store.(id)
+
+let endpoints g id =
+  let e = edge g id in
+  (e.u, e.v)
+
+let weight g id = (edge g id).w
+
+let other_endpoint g id x =
+  let e = edge g id in
+  if e.u = x then e.v
+  else if e.v = x then e.u
+  else invalid_arg (Printf.sprintf "Graph.other_endpoint: %d not on edge %d" x id)
+
+let iter_edges g fn =
+  for i = 0 to g.count - 1 do
+    fn g.store.(i)
+  done
+
+let fold_edges g init fn =
+  let acc = ref init in
+  for i = 0 to g.count - 1 do
+    acc := fn !acc g.store.(i)
+  done;
+  !acc
+
+let edge_array g = Array.sub g.store 0 g.count
+
+let iter_neighbors g u fn =
+  check_vertex g u "iter_neighbors";
+  List.iter (fun (v, id) -> fn v id) g.adj.(u)
+
+let copy g =
+  {
+    size = g.size;
+    count = g.count;
+    store = Array.copy g.store;
+    adj = Array.copy g.adj;
+  }
+
+let total_weight g = fold_edges g 0. (fun acc e -> acc +. e.w)
+
+let max_degree g =
+  let best = ref 0 in
+  for u = 0 to g.size - 1 do
+    let d = List.length g.adj.(u) in
+    if d > !best then best := d
+  done;
+  !best
+
+let is_unit_weighted g =
+  let ok = ref true in
+  iter_edges g (fun e -> if e.w <> 1.0 then ok := false);
+  !ok
+
+let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" g.size g.count
+
+let pp_edge ppf e = Format.fprintf ppf "{%d,%d} w=%g #%d" e.u e.v e.w e.id

@@ -1,0 +1,112 @@
+(** Undirected, optionally weighted graphs with stable integer edge ids.
+
+    This is the substrate shared by every algorithm in the library.
+    Vertices are the integers [0 .. n-1], fixed at creation.  Edges are
+    appended and receive consecutive ids [0 .. m-1]; ids are stable for the
+    lifetime of the graph, which lets fault sets, spanner selections and
+    blocked-edge masks all be represented as arrays indexed by edge id.
+
+    Parallel edges and self-loops are rejected by {!add_edge}; spanner
+    theory assumes simple graphs.  Weights default to [1.0]; a graph in
+    which every weight equals [1.0] is treated as unweighted by algorithms
+    that care about the distinction (see {!is_unit_weighted}). *)
+
+type edge = private {
+  u : int;  (** smaller endpoint *)
+  v : int;  (** larger endpoint *)
+  w : float;  (** weight, [> 0] *)
+  id : int;  (** position in insertion order *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+(** [create n] is the edgeless graph on vertices [0..n-1]. *)
+val create : int -> t
+
+(** [add_edge g u v ~w] appends the edge [{u,v}] with weight [w] and returns
+    its id.  Raises [Invalid_argument] on self-loops, out-of-range
+    endpoints, non-positive weights, or duplicate edges. *)
+val add_edge : t -> int -> int -> w:float -> int
+
+(** [add_edge_unit g u v] is [add_edge g u v ~w:1.0]. *)
+val add_edge_unit : t -> int -> int -> int
+
+(** [of_edges n pairs] builds a unit-weight graph from an edge list. *)
+val of_edges : int -> (int * int) list -> t
+
+(** [of_weighted_edges n triples] builds a graph from [(u, v, w)] triples. *)
+val of_weighted_edges : int -> (int * int * float) list -> t
+
+(** [copy g] is an independent copy sharing nothing mutable with [g]. *)
+val copy : t -> t
+
+(** {1 Accessors} *)
+
+(** [n g] is the number of vertices. *)
+val n : t -> int
+
+(** [m g] is the number of edges. *)
+val m : t -> int
+
+(** [edge g id] returns the edge with the given id.  Raises
+    [Invalid_argument] if [id] is out of range. *)
+val edge : t -> int -> edge
+
+(** [endpoints g id] is [(u, v)] of edge [id]. *)
+val endpoints : t -> int -> int * int
+
+(** [weight g id] is the weight of edge [id]. *)
+val weight : t -> int -> float
+
+(** [other_endpoint g id x] is the endpoint of edge [id] different from [x].
+    Raises [Invalid_argument] if [x] is not an endpoint. *)
+val other_endpoint : t -> int -> int -> int
+
+(** [neighbors g u] lists [(v, edge_id)] for every edge incident to [u].
+    The returned list is in reverse insertion order; treat it as a set. *)
+val neighbors : t -> int -> (int * int) list
+
+(** [degree g u] is the number of edges incident to [u]. *)
+val degree : t -> int -> int
+
+(** [mem_edge g u v] tests whether the edge [{u,v}] is present. *)
+val mem_edge : t -> int -> int -> bool
+
+(** [find_edge g u v] returns the id of edge [{u,v}] if present. *)
+val find_edge : t -> int -> int -> int option
+
+(** {1 Iteration} *)
+
+(** [iter_edges g fn] applies [fn] to every edge in insertion order. *)
+val iter_edges : t -> (edge -> unit) -> unit
+
+(** [fold_edges g init fn] folds [fn] over edges in insertion order. *)
+val fold_edges : t -> 'a -> ('a -> edge -> 'a) -> 'a
+
+(** [edge_array g] is a fresh array of all edges in insertion order. *)
+val edge_array : t -> edge array
+
+(** [iter_neighbors g u fn] applies [fn v edge_id] for each edge incident to
+    [u].  Allocation-free; preferred in inner loops. *)
+val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
+
+(** {1 Aggregates} *)
+
+(** [total_weight g] is the sum of all edge weights. *)
+val total_weight : t -> float
+
+(** [max_degree g] is the largest vertex degree ([0] for edgeless). *)
+val max_degree : t -> int
+
+(** [is_unit_weighted g] is [true] when every edge has weight [1.0]. *)
+val is_unit_weighted : t -> bool
+
+(** {1 Printing} *)
+
+(** [pp] prints a short summary ["graph(n=.., m=..)"]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [pp_edge] prints an edge as ["{u,v} w=.. #id"]. *)
+val pp_edge : Format.formatter -> edge -> unit

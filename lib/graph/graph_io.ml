@@ -1,0 +1,79 @@
+let to_string g =
+  let buf = Buffer.create (64 + (Graph.m g * 16)) in
+  Buffer.add_string buf (Printf.sprintf "p %d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges g (fun e ->
+      Buffer.add_string buf (Printf.sprintf "e %d %d %.12g\n" e.Graph.u e.Graph.v e.Graph.w));
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let graph = ref None in
+  let fail line_no msg = failwith (Printf.sprintf "Graph_io: line %d: %s" line_no msg) in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ "p"; n; _m ] -> (
+            if !graph <> None then fail line_no "duplicate p line";
+            match int_of_string_opt n with
+            | Some n when n >= 0 -> graph := Some (Graph.create n)
+            | _ -> fail line_no "bad vertex count")
+        | "e" :: u :: v :: rest -> (
+            match !graph with
+            | None -> fail line_no "edge before p line"
+            | Some g -> (
+                let w =
+                  match rest with
+                  | [] -> Some 1.0
+                  | [ w ] -> float_of_string_opt w
+                  | _ -> None
+                in
+                match (int_of_string_opt u, int_of_string_opt v, w) with
+                | Some u, Some v, Some w -> (
+                    try ignore (Graph.add_edge g u v ~w)
+                    with Invalid_argument msg -> fail line_no msg)
+                | _ -> fail line_no "bad edge line"))
+        | _ -> fail line_no "unrecognized record")
+    lines;
+  match !graph with
+  | Some g -> g
+  | None -> failwith "Graph_io: missing p line"
+
+let save g file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let bytes = really_input_string ic len in
+      of_string bytes)
+
+let to_dot ?highlight g =
+  let buf = Buffer.create (128 + (Graph.m g * 32)) in
+  Buffer.add_string buf "graph ftspan {\n  node [shape=circle, fontsize=10];\n";
+  let unit_graph = Graph.is_unit_weighted g in
+  Graph.iter_edges g (fun e ->
+      let marked =
+        match highlight with
+        | Some mask -> e.Graph.id < Array.length mask && mask.(e.Graph.id)
+        | None -> false
+      in
+      let label =
+        if unit_graph then "" else Printf.sprintf " label=\"%.3g\"" e.Graph.w
+      in
+      let style = if marked then " color=\"#1f77b4\" penwidth=2.0" else " color=gray" in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d [%s%s];\n" e.Graph.u e.Graph.v
+           (String.trim (label ^ style))
+           ""));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Plain-text graph serialization.
+
+    Format (one record per line, [#] starts a comment):
+    {v
+    p <n> <m>
+    e <u> <v> <w>
+    v}
+    The [p] line must come first; exactly [m] edge lines follow.  Weights
+    are optional on read (default [1.0]). *)
+
+(** [to_string g] serializes [g]. *)
+val to_string : Graph.t -> string
+
+(** [of_string s] parses a graph.  Raises [Failure] with a line-numbered
+    message on malformed input. *)
+val of_string : string -> Graph.t
+
+(** [save g file] writes [to_string g] to [file]. *)
+val save : Graph.t -> string -> unit
+
+(** [load file] reads and parses [file]. *)
+val load : string -> Graph.t
+
+(** [to_dot ?highlight g] renders Graphviz source for [g] ([graph { ... }]
+    with weights as labels).  Edges whose id is set in [highlight] are
+    drawn bold/colored — pass a spanner's [Selection.selected] mask to
+    visualize which edges survived sparsification. *)
+val to_dot : ?highlight:bool array -> Graph.t -> string

@@ -1,0 +1,25 @@
+(** Materialized subgraphs with vertex/edge provenance maps.
+
+    Algorithms such as the Dinitz-Krauthgamer reduction and the LOCAL
+    cluster-greedy run a spanner construction on an induced subgraph and
+    then translate the chosen edges back to the parent graph; the maps
+    returned here make that translation explicit. *)
+
+type t = {
+  graph : Graph.t;  (** the subgraph, with fresh vertex/edge numbering *)
+  to_parent_vertex : int array;  (** subgraph vertex -> parent vertex *)
+  of_parent_vertex : int array;  (** parent vertex -> subgraph vertex or -1 *)
+  to_parent_edge : int array;  (** subgraph edge id -> parent edge id *)
+}
+
+(** [induced g vertices] is the subgraph of [g] induced by the given vertex
+    set (duplicates ignored). *)
+val induced : Graph.t -> int list -> t
+
+(** [induced_mask g keep] is the subgraph induced by [{ v | keep.(v) }]. *)
+val induced_mask : Graph.t -> bool array -> t
+
+(** [of_edge_subset g keep] is the spanning subgraph of [g] keeping edge
+    [id] iff [keep.(id)].  Vertex numbering is preserved
+    ([to_parent_vertex] is the identity). *)
+val of_edge_subset : Graph.t -> bool array -> t

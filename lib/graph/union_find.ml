@@ -1,0 +1,27 @@
+type t = { parent : int array; rank : int array; mutable sets : int }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0; sets = n }
+
+let rec find uf x =
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    uf.parent.(x) <- root;
+    root
+  end
+
+let union uf x y =
+  let rx = find uf x and ry = find uf y in
+  if rx = ry then false
+  else begin
+    let rx, ry = if uf.rank.(rx) < uf.rank.(ry) then (ry, rx) else (rx, ry) in
+    uf.parent.(ry) <- rx;
+    if uf.rank.(rx) = uf.rank.(ry) then uf.rank.(rx) <- uf.rank.(rx) + 1;
+    uf.sets <- uf.sets - 1;
+    true
+  end
+
+let same uf x y = find uf x = find uf y
+
+let count uf = uf.sets

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# End-to-end integration test of the ftspan CLI: every subcommand, plus
+# failure-path checks.  Run by dune as part of @runtest with the freshly
+# built binary as $1.
+set -u
+BIN="$1"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+fail() { echo "cli_test FAILED: $1" >&2; exit 1; }
+
+# generate + info
+"$BIN" generate --family gnp -n 60 -p 0.15 --connect --seed 11 -o "$TMP/g.graph" \
+  >/dev/null || fail "generate gnp"
+"$BIN" info "$TMP/g.graph" | grep -q "n=60" || fail "info reports n"
+
+# weighted generation
+"$BIN" generate --family geometric -n 50 -p 0.3 --connect --seed 4 -o "$TMP/w.graph" \
+  >/dev/null || fail "generate geometric"
+
+# hard lower-bound family: the greedy must keep everything
+"$BIN" generate --family hard -n 3 --extra 2 -o "$TMP/hard.graph" >/dev/null \
+  || fail "generate hard"
+"$BIN" build -k 2 -f 2 "$TMP/hard.graph" | grep -q "208/208 edges" \
+  || fail "hard instance must force all 208 edges"
+
+# build + verify round trip (sampled and exhaustive)
+"$BIN" build -k 2 -f 1 --algo greedy-poly "$TMP/g.graph" -o "$TMP/sel.txt" \
+  >/dev/null || fail "build"
+"$BIN" verify -k 2 -f 1 --trials 40 "$TMP/g.graph" "$TMP/sel.txt" \
+  | grep -q "OK" || fail "verify sampled"
+"$BIN" verify -k 2 -f 1 --exhaustive "$TMP/g.graph" "$TMP/sel.txt" \
+  | grep -q "OK" || fail "verify exhaustive"
+
+# a broken selection must be caught (empty selection of a connected graph)
+: > "$TMP/empty.txt"
+if "$BIN" verify -k 2 -f 0 --exhaustive "$TMP/g.graph" "$TMP/empty.txt" \
+  >/dev/null 2>&1; then
+  fail "verify must reject the empty selection"
+fi
+
+# prune keeps validity
+"$BIN" generate --family gnp -n 24 -p 0.35 --connect --seed 3 -o "$TMP/s.graph" \
+  >/dev/null || fail "generate small"
+"$BIN" build -k 2 -f 1 "$TMP/s.graph" -o "$TMP/ssel.txt" >/dev/null || fail "build small"
+"$BIN" prune -k 2 -f 1 "$TMP/s.graph" "$TMP/ssel.txt" -o "$TMP/pruned.txt" \
+  | grep -q "pruned" || fail "prune"
+"$BIN" verify -k 2 -f 1 --exhaustive "$TMP/s.graph" "$TMP/pruned.txt" \
+  | grep -q "OK" || fail "pruned selection stays valid"
+
+# dot export
+"$BIN" build -k 2 -f 1 "$TMP/s.graph" --dot "$TMP/s.dot" >/dev/null || fail "build --dot"
+grep -q "graph ftspan" "$TMP/s.dot" || fail "dot output malformed"
+
+# oracle, local, congest
+"$BIN" oracle -k 2 --queries 200 "$TMP/g.graph" | grep -q "guarantee 3" \
+  || fail "oracle"
+"$BIN" local -k 2 -f 1 "$TMP/g.graph" | grep -q "rounds:" || fail "local"
+"$BIN" congest -k 2 -f 1 -c 0.5 "$TMP/g.graph" | grep -q "iterations:" \
+  || fail "congest"
+
+# dk11 and exponential algorithms through the facade
+"$BIN" build -k 2 -f 1 --algo dk11 "$TMP/s.graph" >/dev/null || fail "build dk11"
+"$BIN" build -k 2 -f 1 --algo greedy-exp "$TMP/s.graph" >/dev/null || fail "build exp"
+
+# failure paths: unknown family, bad file, bad algo
+"$BIN" generate --family nope -n 5 -o "$TMP/x" >/dev/null 2>&1 && fail "bad family accepted"
+"$BIN" info /nonexistent.graph >/dev/null 2>&1 && fail "missing file accepted"
+"$BIN" build --algo nonsense "$TMP/g.graph" >/dev/null 2>&1 && fail "bad algo accepted"
+
+echo "cli_test OK"

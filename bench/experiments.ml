@@ -742,6 +742,57 @@ let e17 () =
     seeds;
   row "  pass rate %d/30 at c = 0.5" !passes
 
+(* ------------------------------------------------------------------ *)
+(* Smoke subset: seconds-scale runs of the three core pipelines          *)
+(* (centralized LBC, the greedy, the distributed constructions), meant   *)
+(* for CI (@bench-smoke alias) and cheap metrics-trajectory snapshots.   *)
+
+let smoke_lbc () =
+  banner "smoke-lbc - LBC(t, alpha) decisions on G(200, 0.08)";
+  let rng = Rng.create ~seed in
+  let g = Generators.connected_gnp rng ~n:200 ~p:0.08 in
+  let ws = Lbc.Workspace.create () in
+  let yes = ref 0 and total = ref 0 in
+  for _ = 1 to 400 do
+    let u = Rng.int rng 200 and v = Rng.int rng 200 in
+    if u <> v then begin
+      incr total;
+      match Lbc.decide ~ws ~mode:Fault.VFT g ~u ~v ~t:3 ~alpha:2 with
+      | Lbc.Yes _ -> incr yes
+      | Lbc.No _ -> ()
+    end
+  done;
+  row "  %d/%d decisions answered YES (t=3, alpha=2)" !yes !total
+
+let smoke_greedy () =
+  banner "smoke-greedy - Algorithm 3 on G(150, 0.1), k=2 f=2";
+  let rng = Rng.create ~seed in
+  let g = Generators.connected_gnp rng ~n:150 ~p:0.1 in
+  let sel, trace = Poly_greedy.build_traced ~mode:Fault.VFT ~k:2 ~f:2 g in
+  let ok = verify_sampled ~trials:4 rng sel ~mode:Fault.VFT ~k:2 ~f:2 in
+  row "  |H| = %d/%d edges, %d LBC calls, %d BFS rounds, %s" sel.Selection.size
+    (Graph.m g) trace.Poly_greedy.lbc_calls trace.Poly_greedy.bfs_rounds
+    (verdict ok)
+
+let smoke_distributed () =
+  banner "smoke-distributed - LOCAL (n=64) and CONGEST (n=48) constructions";
+  let rng = Rng.create ~seed in
+  let g1 = Generators.connected_gnp rng ~n:64 ~p:(8. /. 64.) in
+  let res = Local_spanner.build rng ~mode:Fault.VFT ~k:2 ~f:1 g1 in
+  row "  LOCAL:   %4d rounds, |H| = %d/%d" res.Local_spanner.total_rounds
+    res.Local_spanner.selection.Selection.size (Graph.m g1);
+  let g2 = Generators.connected_gnp rng ~n:48 ~p:0.2 in
+  let res2 = Congest_ft.build rng ~c:0.5 ~mode:Fault.VFT ~k:2 ~f:1 g2 in
+  row "  CONGEST: %4d rounds, |H| = %d/%d" res2.Congest_ft.total_rounds
+    res2.Congest_ft.selection.Selection.size (Graph.m g2)
+
+let smoke =
+  [
+    ("smoke-lbc", smoke_lbc);
+    ("smoke-greedy", smoke_greedy);
+    ("smoke-distributed", smoke_distributed);
+  ]
+
 let all =
   [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17 ]
 

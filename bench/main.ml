@@ -1,31 +1,91 @@
 (* Benchmark/experiment entry point.
 
    Usage:
-     dune exec bench/main.exe              # every experiment + micro benches
-     dune exec bench/main.exe -- e2 e7     # selected experiments
-     dune exec bench/main.exe -- micro     # micro benchmarks only
+     dune exec bench/main.exe                        # every experiment + micro benches
+     dune exec bench/main.exe -- e2 e7               # selected experiments
+     dune exec bench/main.exe -- micro               # micro benchmarks only
+     dune exec bench/main.exe -- --smoke             # seconds-scale smoke subset
+     dune exec bench/main.exe -- --json out.json e2  # + ftspan.metrics.v1 report
 
-   Experiment ids follow DESIGN.md's index (e1..e16); each regenerates the
+   Experiment ids follow DESIGN.md's index (e1..e17); each regenerates the
    table validating one of the paper's theorems, and EXPERIMENTS.md records
-   the paper-claim vs measured comparison. *)
+   the paper-claim vs measured comparison.  With [--json] each job runs
+   against a freshly reset telemetry registry and its snapshot (wall time,
+   every counter/timer/histogram, span tree) becomes one report entry.
 
-let usage () =
-  print_endline "usage: main.exe [e1..e16|micro]...";
-  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Experiments.by_name;
-  print_endline "  micro"
+   Unknown arguments are an error: usage goes to stderr and the process
+   exits with code 2, so typos cannot silently skip experiments in CI. *)
+
+let usage oc =
+  output_string oc "usage: main.exe [--json FILE] [--smoke] [e1..e17|micro]...\n";
+  output_string oc "experiments:\n";
+  List.iter (fun (name, _) -> Printf.fprintf oc "  %s\n" name) Experiments.by_name;
+  output_string oc "smoke subset (also run by --smoke):\n";
+  List.iter (fun (name, _) -> Printf.fprintf oc "  %s\n" name) Experiments.smoke;
+  output_string oc "  micro\n"
+
+let bad_usage fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "main.exe: %s\n" msg;
+      usage stderr;
+      exit 2)
+    fmt
+
+let lookup_job id =
+  let id = String.lowercase_ascii id in
+  if id = "micro" then ("micro", Micro.run)
+  else
+    match List.assoc_opt id Experiments.by_name with
+    | Some fn -> (id, fn)
+    | None -> (
+        match List.assoc_opt id Experiments.smoke with
+        | Some fn -> (id, fn)
+        | None -> bad_usage "unknown experiment id %S" id)
+
+let parse_args args =
+  let json = ref None and smoke = ref false and jobs = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json := Some file;
+        go rest
+    | [ "--json" ] -> bad_usage "--json requires a file argument"
+    | "--smoke" :: rest ->
+        smoke := true;
+        go rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--json=" ->
+        json := Some (String.sub arg 7 (String.length arg - 7));
+        go rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        bad_usage "unknown option %S" arg
+    | id :: rest ->
+        jobs := lookup_job id :: !jobs;
+        go rest
+  in
+  go args;
+  let jobs = List.rev !jobs in
+  let jobs = if !smoke then Experiments.smoke @ jobs else jobs in
+  let jobs =
+    if jobs = [] && not !smoke then
+      Experiments.by_name @ [ ("micro", Micro.run) ]
+    else jobs
+  in
+  (!json, jobs)
+
+let run_job (id, fn) =
+  Obs.reset ();
+  let (), wall = Tables.time fn in
+  { Obs_sink.id; wall_s = wall; snap = Obs.snapshot () }
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] ->
-      List.iter (fun e -> e ()) Experiments.all;
-      Micro.run ()
-  | _ :: args ->
-      List.iter
-        (fun arg ->
-          if arg = "micro" then Micro.run ()
-          else
-            match List.assoc_opt (String.lowercase_ascii arg) Experiments.by_name with
-            | Some e -> e ()
-            | None -> usage ())
-        args
-  | [] -> usage ()
+  let json, jobs =
+    match Array.to_list Sys.argv with _ :: args -> parse_args args | [] -> (None, [])
+  in
+  let entries = List.map run_job jobs in
+  match json with
+  | None -> ()
+  | Some file ->
+      Obs_sink.write_report ~created:(Unix.time ()) ~file entries;
+      Printf.printf "\nmetrics report written to %s (%d entries)\n" file
+        (List.length entries)

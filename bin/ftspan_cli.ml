@@ -38,6 +38,37 @@ let graph_arg =
 let load_graph file =
   try Ok (Graph_io.load file) with Failure msg -> Error (`Msg msg)
 
+let metrics_arg =
+  let doc =
+    "Report collected telemetry (counters, timers, histograms, spans) \
+     after the command: $(b,pretty) for a human-readable listing, \
+     $(b,json) for an ftspan.metrics.v1 document (the schema bench/main.exe \
+     --json writes).  $(b,--metrics) alone means $(b,pretty)."
+  in
+  let fmt = Arg.enum [ ("pretty", `Pretty); ("json", `Json) ] in
+  Arg.(value & opt ~vopt:(Some `Pretty) (some fmt) None & info [ "metrics" ] ~docv:"FMT" ~doc)
+
+(* Wrap a subcommand body: scope the obs registry to it, time it, and
+   render the snapshot in the requested sink. *)
+let with_metrics metrics ~id f =
+  match metrics with
+  | None -> f ()
+  | Some fmt ->
+      Obs.reset ();
+      let t0 = Unix.gettimeofday () in
+      let result = f () in
+      let wall = Unix.gettimeofday () -. t0 in
+      let entry = { Obs_sink.id; wall_s = wall; snap = Obs.snapshot () } in
+      (match fmt with
+      | `Pretty ->
+          Printf.printf "-- metrics (%s, %.3f s) --\n" id wall;
+          Format.printf "%a@." Obs_sink.pp entry.Obs_sink.snap
+      | `Json ->
+          print_endline
+            (Obs_json.to_string ~indent:true
+               (Obs_sink.json_of_report ~created:(Unix.time ()) [ entry ])));
+      result
+
 (* --------------------------- generate -------------------------------- *)
 
 let family_arg =
@@ -169,9 +200,10 @@ let save_selection sel file =
       List.iter (fun id -> output_string oc (string_of_int id ^ "\n")) (Selection.ids sel))
 
 let build_cmd =
-  let run seed k f mode algo file out dot =
+  let run seed k f mode algo metrics file out dot =
     Result.map
       (fun g ->
+        with_metrics metrics ~id:"build" @@ fun () ->
         let rng = Rng.create ~seed in
         let params = { Spanner.k; f; mode } in
         let t0 = Unix.gettimeofday () in
@@ -200,8 +232,8 @@ let build_cmd =
   let term =
     Term.(
       term_result
-        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ algo_arg $ graph_arg
-       $ spanner_out_arg $ dot_out_arg))
+        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ algo_arg
+       $ metrics_arg $ graph_arg $ spanner_out_arg $ dot_out_arg))
   in
   Cmd.v (Cmd.info "build" ~doc:"Construct a fault-tolerant spanner.") term
 
@@ -279,9 +311,10 @@ let verify_cmd =
 (* ----------------------------- local ---------------------------------- *)
 
 let local_cmd =
-  let run seed k f mode file =
+  let run seed k f mode metrics file =
     Result.map
       (fun g ->
+        with_metrics metrics ~id:"local" @@ fun () ->
         let rng = Rng.create ~seed in
         let res = Local_spanner.build rng ~mode ~k ~f g in
         let d = res.Local_spanner.decomposition in
@@ -302,7 +335,9 @@ let local_cmd =
       (load_graph file)
   in
   let term =
-    Term.(term_result (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ graph_arg))
+    Term.(
+      term_result
+        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ metrics_arg $ graph_arg))
   in
   Cmd.v
     (Cmd.info "local" ~doc:"Run the LOCAL-model construction (Theorem 12).")
@@ -315,9 +350,10 @@ let c_arg =
   Arg.(value & opt float 1.0 & info [ "c" ] ~docv:"C" ~doc)
 
 let congest_cmd =
-  let run seed k f mode c file =
+  let run seed k f mode c metrics file =
     Result.map
       (fun g ->
+        with_metrics metrics ~id:"congest" @@ fun () ->
         let rng = Rng.create ~seed in
         let res = Congest_ft.build rng ~c ~mode ~k ~f g in
         Printf.printf "iterations: %d (word size %d bits)\n" res.Congest_ft.iterations
@@ -334,7 +370,9 @@ let congest_cmd =
   in
   let term =
     Term.(
-      term_result (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ c_arg $ graph_arg))
+      term_result
+        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ c_arg $ metrics_arg
+       $ graph_arg))
   in
   Cmd.v
     (Cmd.info "congest" ~doc:"Run the CONGEST-model construction (Theorem 15).")
@@ -347,9 +385,10 @@ let queries_arg =
   Arg.(value & opt int 1000 & info [ "queries" ] ~docv:"N" ~doc)
 
 let oracle_cmd =
-  let run seed k queries file =
+  let run seed k queries metrics file =
     Result.map
       (fun g ->
+        with_metrics metrics ~id:"oracle" @@ fun () ->
         let rng = Rng.create ~seed in
         let t0 = Unix.gettimeofday () in
         let oracle = Oracle.build rng ~k g in
@@ -379,7 +418,9 @@ let oracle_cmd =
       (load_graph file)
   in
   let term =
-    Term.(term_result (const run $ seed_arg $ k_arg $ queries_arg $ graph_arg))
+    Term.(
+      term_result
+        (const run $ seed_arg $ k_arg $ queries_arg $ metrics_arg $ graph_arg))
   in
   Cmd.v
     (Cmd.info "oracle" ~doc:"Build a Thorup-Zwick distance oracle and sample queries.")

@@ -12,10 +12,14 @@ let decide_range ~mode ~t ~f h edges verdicts lo hi =
     | Lbc.No _ -> ()
   done
 
+let m_batches = Obs.counter "batch_greedy.batches"
+let m_committed = Obs.counter "batch_greedy.edges_committed"
+
 let build_impl ?(order = Poly_greedy.By_weight) ~decide ~mode ~k ~f ~batch g =
   if batch < 1 then invalid_arg "Batch_greedy.build: batch must be >= 1";
   if k < 1 then invalid_arg "Batch_greedy.build: k must be >= 1";
   if f < 0 then invalid_arg "Batch_greedy.build: f must be >= 0";
+  Obs.with_span "batch_greedy.build" @@ fun () ->
   let t = (2 * k) - 1 in
   let edges =
     match order with
@@ -43,6 +47,7 @@ let build_impl ?(order = Poly_greedy.By_weight) ~decide ~mode ~k ~f ~batch g =
   while !pos < m do
     let hi = min m (!pos + batch) in
     incr batches;
+    Obs.Counter.incr m_batches;
     if hi - !pos > !max_batch then max_batch := hi - !pos;
     (* Decision phase: every edge of the batch is judged against the same
        frozen H. *)
@@ -52,7 +57,8 @@ let build_impl ?(order = Poly_greedy.By_weight) ~decide ~mode ~k ~f ~batch g =
       if verdicts.(i) then begin
         let e = edges.(i) in
         ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
-        selected.(e.Graph.id) <- true
+        selected.(e.Graph.id) <- true;
+        Obs.Counter.incr m_committed
       end
     done;
     pos := hi

@@ -2,7 +2,11 @@
    weight is within [budget], with as few hops as possible (small branching
    factor).  In unit-weight graphs weight and hops coincide, so plain BFS
    with [max_hops = budget] is both exact and fast. *)
+let m_decisions = Obs.counter "exp_greedy.decisions"
+let m_witness = Obs.counter "exp_greedy.witness_searches"
+
 let witness_path ~unit_graph ~blocked_v ~blocked_e h ~u ~v ~budget =
+  Obs.Counter.incr m_witness;
   if unit_graph then
     let max_hops = int_of_float (floor (budget +. 1e-9)) in
     if max_hops < 1 then None
@@ -80,12 +84,14 @@ let exists_fault_set_naive ~mode h ~u ~v ~budget ~f =
 let build_greedy ~decide ~mode ~k ~f g =
   if k < 1 then invalid_arg "Exp_greedy.build: k must be >= 1";
   if f < 0 then invalid_arg "Exp_greedy.build: f must be >= 0";
+  Obs.with_span "exp_greedy.build" @@ fun () ->
   let stretch = float_of_int ((2 * k) - 1) in
   let order = Graph.edge_array g in
   Array.sort (fun a b -> compare a.Graph.w b.Graph.w) order;
   let h = Graph.create (Graph.n g) in
   let selected = Array.make (Graph.m g) false in
   let consider e =
+    Obs.Counter.incr m_decisions;
     let budget = stretch *. e.Graph.w in
     if decide ~mode h ~u:e.Graph.u ~v:e.Graph.v ~budget ~f then begin
       ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);

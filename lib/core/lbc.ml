@@ -22,13 +22,21 @@ let pp_verdict ppf = function
   | Yes { cut } -> Format.fprintf ppf "YES(cut size %d)" (List.length cut)
   | No { paths_seen } -> Format.fprintf ppf "NO(%d paths)" paths_seen
 
-let default_ws = Workspace.create ()
+let m_calls = Obs.counter "lbc.calls"
+let m_yes = Obs.counter "lbc.yes"
+let m_no = Obs.counter "lbc.no"
+let m_bfs_rounds = Obs.counter "lbc.bfs_rounds"
+let h_rounds = Obs.histogram "lbc.rounds_per_call"
+let h_cut = Obs.histogram "lbc.cut_size"
 
 let decide ?ws ~mode g ~u ~v ~t ~alpha =
   if u = v then invalid_arg "Lbc.decide: u = v";
   if t < 1 then invalid_arg "Lbc.decide: t must be >= 1";
   if alpha < 0 then invalid_arg "Lbc.decide: alpha must be >= 0";
-  let ws = Option.value ws ~default:default_ws in
+  (* The fallback workspace is created per call: a shared module-level
+     scratch would make concurrent workspace-less calls (parallel batch
+     decisions, future multi-domain users) corrupt each other's masks. *)
+  let ws = match ws with Some ws -> ws | None -> Workspace.create () in
   Workspace.ensure ws ~n:(Graph.n g) ~m:(Graph.m g);
   let blocked_v = ws.Workspace.blocked_v and blocked_e = ws.Workspace.blocked_e in
   (* [dirty] tracks mask entries set during this call so they can be undone
@@ -60,9 +68,11 @@ let decide ?ws ~mode g ~u ~v ~t ~alpha =
         Bfs.hop_bounded_path ~ws:ws.Workspace.bfs ~blocked_edges:blocked_e g
           ~src:u ~dst:v ~max_hops:t
   in
+  let bfs_rounds = ref 0 in
   let rec rounds i =
     if i > alpha + 1 then No { paths_seen = alpha + 1 }
-    else
+    else begin
+      incr bfs_rounds;
       match find_path () with
       | None -> Yes { cut = !dirty }
       | Some p ->
@@ -70,7 +80,18 @@ let decide ?ws ~mode g ~u ~v ~t ~alpha =
           | Fault.VFT -> List.iter block_vertex (Path.interior p)
           | Fault.EFT -> List.iter block_edge p.Path.edges);
           rounds (i + 1)
+    end
   in
   let verdict = rounds 1 in
+  if Obs.enabled () then begin
+    Obs.Counter.incr m_calls;
+    Obs.Counter.add m_bfs_rounds !bfs_rounds;
+    Obs.Histogram.observe_int h_rounds !bfs_rounds;
+    match verdict with
+    | Yes _ ->
+        Obs.Counter.incr m_yes;
+        Obs.Histogram.observe_int h_cut (List.length !dirty)
+    | No _ -> Obs.Counter.incr m_no
+  end;
   cleanup ();
   verdict

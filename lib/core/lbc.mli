@@ -23,7 +23,9 @@
 
 module Workspace : sig
   (** Reusable scratch space (BFS arrays plus fault masks).  One workspace
-      serves any number of sequential calls, growing as graphs grow. *)
+      serves any number of sequential calls, growing as graphs grow.  A
+      workspace must not be shared between concurrent calls: give each
+      domain its own (as {!Batch_greedy.build_parallel} does). *)
   type t
 
   val create : unit -> t
@@ -39,7 +41,16 @@ val pp_verdict : Format.formatter -> verdict -> unit
 
 (** [decide ?ws ~mode g ~u ~v ~t ~alpha] runs Algorithm 2.  Requirements:
     [u <> v], [t >= 1], [alpha >= 0].  The graph may lack the edge [{u,v}]
-    (in the greedy it always does — the candidate edge is not yet added). *)
+    (in the greedy it always does — the candidate edge is not yet added).
+
+    When [ws] is omitted a fresh workspace is created for the call, so
+    workspace-less calls are reentrant and domain-safe; hot loops should
+    still pass a reused [ws] to stay allocation-free.
+
+    Every call reports to the telemetry layer (unless {!Obs.set_enabled}
+    is off): counters [lbc.calls], [lbc.yes], [lbc.no] and
+    [lbc.bfs_rounds] (exact BFS invocations), plus histograms
+    [lbc.rounds_per_call] and [lbc.cut_size]. *)
 val decide :
   ?ws:Workspace.t ->
   mode:Fault.mode ->

@@ -7,6 +7,15 @@ type order =
 
 type trace = { lbc_calls : int; bfs_rounds : int; yes_answers : int }
 
+(* The trace is obs-backed: the greedy reads the [lbc.*] counters that
+   Lbc.decide maintains, as a delta across the build.  Its own counters
+   below add greedy-level series on top. *)
+let c_lbc_calls = Obs.counter "lbc.calls"
+let c_lbc_yes = Obs.counter "lbc.yes"
+let c_lbc_bfs_rounds = Obs.counter "lbc.bfs_rounds"
+let m_considered = Obs.counter "poly_greedy.edges_considered"
+let m_added = Obs.counter "poly_greedy.edges_added"
+
 let ordered_edges order g =
   let edges = Graph.edge_array g in
   (match order with
@@ -30,19 +39,20 @@ let ordered_edges order g =
 let build_impl ?(order = By_weight) ?on_add ~mode ~k ~f g =
   if k < 1 then invalid_arg "Poly_greedy.build: k must be >= 1";
   if f < 0 then invalid_arg "Poly_greedy.build: f must be >= 0";
+  Obs.with_span "poly_greedy.build" @@ fun () ->
   let t = (2 * k) - 1 in
   let edges = ordered_edges order g in
   let h = Graph.create (Graph.n g) in
   let selected = Array.make (Graph.m g) false in
   let ws = Lbc.Workspace.create () in
-  let lbc_calls = ref 0 and bfs_rounds = ref 0 and yes_answers = ref 0 in
+  let calls0 = Obs.Counter.value c_lbc_calls in
+  let yes0 = Obs.Counter.value c_lbc_yes in
+  let rounds0 = Obs.Counter.value c_lbc_bfs_rounds in
   let consider e =
-    incr lbc_calls;
+    Obs.Counter.incr m_considered;
     match Lbc.decide ~ws ~mode h ~u:e.Graph.u ~v:e.Graph.v ~t ~alpha:f with
     | Lbc.Yes { cut } ->
-        (* A round count: YES after r paths means r+1 BFS calls. *)
-        incr yes_answers;
-        bfs_rounds := !bfs_rounds + f + 1;
+        Obs.Counter.incr m_added;
         (match on_add with
         | Some fn ->
             (* [cut] holds H-local ids; report the certificate in the
@@ -52,11 +62,15 @@ let build_impl ?(order = By_weight) ?on_add ~mode ~k ~f g =
         | None -> ());
         ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
         selected.(e.Graph.id) <- true
-    | Lbc.No { paths_seen } -> bfs_rounds := !bfs_rounds + paths_seen
+    | Lbc.No _ -> ()
   in
   Array.iter consider edges;
   ( Selection.of_mask g selected,
-    { lbc_calls = !lbc_calls; bfs_rounds = !bfs_rounds; yes_answers = !yes_answers } )
+    {
+      lbc_calls = Obs.Counter.value c_lbc_calls - calls0;
+      bfs_rounds = Obs.Counter.value c_lbc_bfs_rounds - rounds0;
+      yes_answers = Obs.Counter.value c_lbc_yes - yes0;
+    } )
 
 let build_traced ?order ~mode ~k ~f g = build_impl ?order ~mode ~k ~f g
 

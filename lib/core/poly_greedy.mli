@@ -33,9 +33,15 @@ type order =
 
 type trace = {
   lbc_calls : int;  (** = m *)
-  bfs_rounds : int;  (** total BFS invocations inside LBC *)
+  bfs_rounds : int;  (** exact total BFS invocations inside LBC *)
   yes_answers : int;  (** = spanner size *)
 }
+(** The trace is a delta of the telemetry counters [lbc.calls],
+    [lbc.bfs_rounds] and [lbc.yes] across the build (see {!Obs}); if
+    collection is disabled via [Obs.set_enabled false], the trace reads
+    all zeros.  Builds additionally record the [poly_greedy.build] span
+    and the [poly_greedy.edges_considered] / [poly_greedy.edges_added]
+    counters. *)
 
 (** [build ?order ~mode ~k ~f g] runs the modified greedy.  Requires
     [k >= 1] and [f >= 0] ([f = 0] degenerates to the classic greedy

@@ -16,6 +16,7 @@ let bits_needed x =
 let build rng ?(c = 1.0) ?word_bits ~mode ~k ~f g =
   if k < 1 then invalid_arg "Congest_ft.build: k must be >= 1";
   if f < 0 then invalid_arg "Congest_ft.build: f must be >= 0";
+  Obs.with_span "congest_ft.build" @@ fun () ->
   let n = Graph.n g in
   let m = Graph.m g in
   let word = match word_bits with Some b -> b | None -> 4 * (bits_needed n + 1) in

@@ -16,6 +16,7 @@ type payload = { partition : int; edge_ids : int list }
 let payload_bits p = 64 * (2 + List.length p.edge_ids)
 
 let build rng ?(engine = Polynomial) ?beta ?partitions ~mode ~k ~f g =
+  Obs.with_span "local_spanner.build" @@ fun () ->
   let decomposition = Decomposition.run rng ?beta ?partitions g in
   let parts = decomposition.Decomposition.partitions in
   let ell = Array.length parts in

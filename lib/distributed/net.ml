@@ -1,5 +1,14 @@
 type model = Local | Congest of int
 
+(* Simulator-wide telemetry mirroring the per-network [stats] record, so
+   the obs layer sees distributed work through the same pipeline as the
+   centralized algorithms. *)
+let m_rounds = Obs.counter "net.rounds"
+let m_messages = Obs.counter "net.messages"
+let m_bits = Obs.counter "net.bits"
+let m_violations = Obs.counter "net.congest_violations"
+let h_msg_bits = Obs.histogram "net.message_bits"
+
 type stats = {
   rounds : int;
   messages : int;
@@ -70,9 +79,16 @@ let send net ~src ~dst msg =
   net.messages <- net.messages + 1;
   net.total_bits <- net.total_bits + b;
   if b > net.max_message_bits then net.max_message_bits <- b;
+  Obs.Counter.incr m_messages;
+  Obs.Counter.add m_bits b;
+  Obs.Histogram.observe_int h_msg_bits b;
   (match net.model with
   | Local -> ()
-  | Congest cap -> if b > cap then net.congest_violations <- net.congest_violations + 1);
+  | Congest cap ->
+      if b > cap then begin
+        net.congest_violations <- net.congest_violations + 1;
+        Obs.Counter.incr m_violations
+      end);
   if net.edge_round_bits.(s) = 0 then net.touched <- s :: net.touched;
   net.edge_round_bits.(s) <- net.edge_round_bits.(s) + b;
   if net.edge_round_bits.(s) > net.max_edge_round_bits then
@@ -97,7 +113,8 @@ let next_round net =
   end;
   List.iter (fun s -> net.edge_round_bits.(s) <- 0) net.touched;
   net.touched <- [];
-  net.round <- net.round + 1
+  net.round <- net.round + 1;
+  Obs.Counter.incr m_rounds
 
 let inbox net v = net.delivered.(v)
 
@@ -107,7 +124,8 @@ let charge_rounds net k =
     for _ = 1 to k do
       net.past_rounds <- [] :: net.past_rounds
     done;
-  net.round <- net.round + k
+  net.round <- net.round + k;
+  Obs.Counter.add m_rounds k
 
 let stats net =
   {

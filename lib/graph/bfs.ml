@@ -30,6 +30,13 @@ module Workspace = struct
     end
 end
 
+(* Work counters flushed once per traversal: the loops below accumulate
+   into locals, so the per-edge cost of instrumentation is one register
+   increment. *)
+let m_searches = Obs.counter "bfs.searches"
+let m_nodes = Obs.counter "bfs.nodes_scanned"
+let m_edges = Obs.counter "bfs.edges_scanned"
+
 let vertex_blocked mask x =
   match mask with
   | None -> false
@@ -48,6 +55,7 @@ let search ws ~blocked_vertices ~blocked_edges g ~src ~dst ~max_hops =
   ensure ws (Graph.n g);
   ws.stamp <- ws.stamp + 1;
   let stamp = ws.stamp in
+  Obs.Counter.incr m_searches;
   if vertex_blocked blocked_vertices src || vertex_blocked blocked_vertices dst
   then false
   else if src = dst then true
@@ -58,12 +66,14 @@ let search ws ~blocked_vertices ~blocked_edges g ~src ~dst ~max_hops =
     ws.queue.(0) <- src;
     let head = ref 0 and tail = ref 1 in
     let found = ref false in
+    let scanned = ref 0 in
     while (not !found) && !head < !tail do
       let x = ws.queue.(!head) in
       incr head;
       let d = ws.depth.(x) in
       if d < max_hops then
         let visit y id =
+          incr scanned;
           if
             (not !found)
             && ws.seen.(y) <> stamp
@@ -83,6 +93,8 @@ let search ws ~blocked_vertices ~blocked_edges g ~src ~dst ~max_hops =
         in
         Graph.iter_neighbors g x visit
     done;
+    Obs.Counter.add m_nodes !head;
+    Obs.Counter.add m_edges !scanned;
     !found
   end
 
@@ -108,16 +120,19 @@ let hop_bounded_path ?ws ?blocked_vertices ?blocked_edges g ~src ~dst ~max_hops 
 let distances ?blocked_vertices ?blocked_edges g src =
   let n = Graph.n g in
   let dist = Array.make n (-1) in
+  Obs.Counter.incr m_searches;
   if vertex_blocked blocked_vertices src then dist
   else begin
     let queue = Array.make n 0 in
     dist.(src) <- 0;
     queue.(0) <- src;
     let head = ref 0 and tail = ref 1 in
+    let scanned = ref 0 in
     while !head < !tail do
       let x = queue.(!head) in
       incr head;
       let visit y id =
+        incr scanned;
         if
           dist.(y) < 0
           && (not (edge_blocked blocked_edges id))
@@ -130,6 +145,8 @@ let distances ?blocked_vertices ?blocked_edges g src =
       in
       Graph.iter_neighbors g x visit
     done;
+    Obs.Counter.add m_nodes !head;
+    Obs.Counter.add m_edges !scanned;
     dist
   end
 

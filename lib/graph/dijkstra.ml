@@ -1,3 +1,9 @@
+(* Work counters flushed once per run; accumulation inside the loop is
+   local (see Bfs for the pattern). *)
+let m_runs = Obs.counter "dijkstra.runs"
+let m_settled = Obs.counter "dijkstra.nodes_settled"
+let m_relaxed = Obs.counter "dijkstra.edges_relaxed"
+
 let vertex_blocked mask x =
   match mask with
   | None -> false
@@ -20,16 +26,19 @@ let run ?blocked_vertices ?blocked_edges ?parent_edge ?parent_vertex
   end;
   let settled = Array.make (Graph.n g) false in
   let stop = ref false in
+  let n_settled = ref 0 and n_relaxed = ref 0 in
   while (not !stop) && not (Pqueue.is_empty heap) do
     match Pqueue.pop_min heap with
     | None -> stop := true
     | Some (d, x) ->
         if not settled.(x) then begin
           settled.(x) <- true;
+          incr n_settled;
           if d > cutoff then stop := true
           else if Some x = stop_at then stop := true
           else
             let relax y id =
+              incr n_relaxed;
               if
                 (not settled.(y))
                 && (not (edge_blocked blocked_edges id))
@@ -46,7 +55,10 @@ let run ?blocked_vertices ?blocked_edges ?parent_edge ?parent_vertex
             in
             Graph.iter_neighbors g x relax
         end
-  done
+  done;
+  Obs.Counter.incr m_runs;
+  Obs.Counter.add m_settled !n_settled;
+  Obs.Counter.add m_relaxed !n_relaxed
 
 let distances ?blocked_vertices ?blocked_edges g src =
   let dist = Array.make (Graph.n g) infinity in

@@ -1,0 +1,265 @@
+let enabled_flag = Atomic.make true
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Monotonic clamp over the wall clock: the OS clock may step backwards
+   (NTP); measurements must not. *)
+let last_now = ref 0.
+let now_s () =
+  let t = Unix.gettimeofday () in
+  if t > !last_now then last_now := t;
+  !last_now
+
+module Counter = struct
+  type t = { name : string; value : int Atomic.t }
+
+  let name c = c.name
+  let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.value n)
+  let incr c = add c 1
+  let value c = Atomic.get c.value
+  let reset c = Atomic.set c.value 0
+end
+
+module Timer = struct
+  type t = { name : string; mutable total : float; mutable count : int }
+
+  let name t = t.name
+
+  let record t dt =
+    if Atomic.get enabled_flag then begin
+      t.total <- t.total +. dt;
+      t.count <- t.count + 1
+    end
+
+  let time t f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let t0 = now_s () in
+      Fun.protect ~finally:(fun () -> record t (now_s () -. t0)) f
+    end
+
+  let total_s t = t.total
+  let count t = t.count
+  let reset t = t.total <- 0.; t.count <- 0
+end
+
+module Histogram = struct
+  (* Bucket upper bounds 2^0 .. 2^30, plus one overflow bucket.  Values
+     <= 1 land in bucket 0; the layout matches the integer work counts
+     (rounds, cut sizes, message bits) the repo histograms. *)
+  let bounds = Array.init 31 (fun i -> Float.of_int (1 lsl i))
+  let nbuckets = Array.length bounds + 1
+
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+    buckets : int array;
+  }
+
+  let name h = h.name
+
+  let bucket_of v =
+    let rec go i = if i >= Array.length bounds || v <= bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let observe h v =
+    if Atomic.get enabled_flag then begin
+      if h.count = 0 || v < h.min then h.min <- v;
+      if h.count = 0 || v > h.max then h.max <- v;
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      let b = bucket_of v in
+      h.buckets.(b) <- h.buckets.(b) + 1
+    end
+
+  let observe_int h v = observe h (Float.of_int v)
+  let count h = h.count
+  let sum h = h.sum
+
+  let reset h =
+    h.count <- 0;
+    h.sum <- 0.;
+    h.min <- 0.;
+    h.max <- 0.;
+    Array.fill h.buckets 0 nbuckets 0
+end
+
+(* ------------------------------ spans ------------------------------- *)
+
+(* Spans are accumulated directly into a merged tree: one node per
+   distinct (parent path, name), so memory is bounded by the number of
+   distinct span paths rather than the number of events. *)
+type span_node = {
+  sp_name : string;
+  mutable sp_count : int;
+  mutable sp_total : float;
+  sp_children : (string, span_node) Hashtbl.t;
+}
+
+let make_span_node name =
+  { sp_name = name; sp_count = 0; sp_total = 0.; sp_children = Hashtbl.create 4 }
+
+let span_roots : (string, span_node) Hashtbl.t = Hashtbl.create 8
+let span_stack : span_node list ref = ref []
+
+let find_span_node table name =
+  match Hashtbl.find_opt table name with
+  | Some n -> n
+  | None ->
+      let n = make_span_node name in
+      Hashtbl.add table name n;
+      n
+
+let with_span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let table =
+      match !span_stack with [] -> span_roots | top :: _ -> top.sp_children
+    in
+    let node = find_span_node table name in
+    span_stack := node :: !span_stack;
+    let t0 = now_s () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.sp_count <- node.sp_count + 1;
+        node.sp_total <- node.sp_total +. (now_s () -. t0);
+        match !span_stack with
+        | top :: rest when top == node -> span_stack := rest
+        | _ -> (* a reset () ran inside the span; the stack is gone *) ())
+      f
+  end
+
+(* ----------------------------- registry ----------------------------- *)
+
+type metric =
+  | M_counter of Counter.t
+  | M_timer of Timer.t
+  | M_histogram of Histogram.t
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register name make extract kind =
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+      match extract m with
+      | Some x -> x
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Obs: %S is already registered as a different kind (wanted %s)"
+               name kind))
+  | None ->
+      let x, m = make () in
+      Hashtbl.add registry name m;
+      x
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { Counter.name; value = Atomic.make 0 } in
+      (c, M_counter c))
+    (function M_counter c -> Some c | _ -> None)
+    "counter"
+
+let timer name =
+  register name
+    (fun () ->
+      let t = { Timer.name; total = 0.; count = 0 } in
+      (t, M_timer t))
+    (function M_timer t -> Some t | _ -> None)
+    "timer"
+
+let histogram name =
+  register name
+    (fun () ->
+      let h =
+        { Histogram.name; count = 0; sum = 0.; min = 0.; max = 0.;
+          buckets = Array.make Histogram.nbuckets 0 }
+      in
+      (h, M_histogram h))
+    (function M_histogram h -> Some h | _ -> None)
+    "histogram"
+
+(* ----------------------------- snapshot ----------------------------- *)
+
+type histogram_view = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float option * int) list;
+}
+
+type span_view = {
+  s_name : string;
+  s_count : int;
+  s_total_s : float;
+  s_children : span_view list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * (int * float)) list;
+  histograms : (string * histogram_view) list;
+  spans : span_view list;
+}
+
+let view_histogram (h : Histogram.t) =
+  let buckets = ref [] in
+  for i = Histogram.nbuckets - 1 downto 0 do
+    if h.Histogram.buckets.(i) > 0 then begin
+      let bound =
+        if i < Array.length Histogram.bounds then Some Histogram.bounds.(i)
+        else None
+      in
+      buckets := (bound, h.Histogram.buckets.(i)) :: !buckets
+    end
+  done;
+  {
+    h_count = h.Histogram.count;
+    h_sum = h.Histogram.sum;
+    h_min = (if h.Histogram.count = 0 then 0. else h.Histogram.min);
+    h_max = (if h.Histogram.count = 0 then 0. else h.Histogram.max);
+    h_buckets = !buckets;
+  }
+
+let rec view_span (n : span_node) =
+  {
+    s_name = n.sp_name;
+    s_count = n.sp_count;
+    s_total_s = n.sp_total;
+    s_children = view_span_table n.sp_children;
+  }
+
+and view_span_table table =
+  Hashtbl.fold (fun _ n acc -> view_span n :: acc) table []
+  |> List.filter (fun s -> s.s_count > 0 || s.s_children <> [])
+  |> List.sort (fun a b -> compare a.s_name b.s_name)
+
+let snapshot () =
+  let counters = ref [] and timers = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun name -> function
+      | M_counter c -> counters := (name, Counter.value c) :: !counters
+      | M_timer t -> timers := (name, (Timer.count t, Timer.total_s t)) :: !timers
+      | M_histogram h -> histograms := (name, view_histogram h) :: !histograms)
+    registry;
+  let by_name (a, _) (b, _) = compare (a : string) b in
+  {
+    counters = List.sort by_name !counters;
+    timers = List.sort by_name !timers;
+    histograms = List.sort by_name !histograms;
+    spans = view_span_table span_roots;
+  }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ -> function
+      | M_counter c -> Counter.reset c
+      | M_timer t -> Timer.reset t
+      | M_histogram h -> Histogram.reset h)
+    registry;
+  Hashtbl.reset span_roots;
+  span_stack := []

@@ -1,0 +1,129 @@
+(** Lightweight telemetry: named counters, timers, histograms and nestable
+    spans, collected into a process-global registry and reported through
+    the sinks of {!Obs_sink}.
+
+    The layer is designed for hot paths: instrumented code accumulates
+    locally and flushes {e once per logical operation} (one BFS, one LBC
+    call), so the steady-state cost is a handful of atomic adds per
+    operation.  The master switch {!set_enabled} turns every collection
+    point into a no-op — the "null sink" mode — leaving only a dead branch
+    in the hot loops.
+
+    Concurrency: counters are atomic and safe to bump from multiple
+    domains (the parallel batched greedy does).  Timers, histograms and
+    spans use plain mutable state and assume a single domain; under
+    parallel sections their values are best-effort.
+
+    Metrics are identified by name.  Requesting an existing name returns
+    the already-registered metric, so independent modules may share a
+    series (the greedy reads the [lbc.*] counters that {!Lbc.decide}
+    writes).  Names use dotted lower-case paths: ["lbc.calls"],
+    ["bfs.edges_scanned"]. *)
+
+(** [enabled ()] is the master collection switch (initially [true]). *)
+val enabled : unit -> bool
+
+(** [set_enabled b] turns collection on or off globally.  While disabled,
+    counter/timer/histogram updates and spans cost one branch and record
+    nothing. *)
+val set_enabled : bool -> unit
+
+(** [now_s ()] is a monotonically non-decreasing wall-clock reading in
+    seconds.  (The OS clock may step backwards; this never does.) *)
+val now_s : unit -> float
+
+module Counter : sig
+  (** A named monotonic integer, atomic across domains. *)
+  type t
+
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  (** Current value.  Reads are not gated on {!Obs.enabled}. *)
+  val value : t -> int
+end
+
+(** [counter name] registers (or retrieves) the counter [name].
+    Raises [Invalid_argument] if [name] is registered as another kind. *)
+val counter : string -> Counter.t
+
+module Timer : sig
+  (** A named accumulator of elapsed wall-clock time. *)
+  type t
+
+  val name : t -> string
+
+  (** [time t f] runs [f ()] and adds its duration to [t] (exceptions
+      included).  When collection is disabled this is exactly [f ()]. *)
+  val time : t -> (unit -> 'a) -> 'a
+
+  (** [record t dt] adds a pre-measured duration in seconds. *)
+  val record : t -> float -> unit
+
+  val total_s : t -> float
+  val count : t -> int
+end
+
+val timer : string -> Timer.t
+
+module Histogram : sig
+  (** A named distribution: count/sum/min/max plus power-of-two buckets
+      (upper bounds 1, 2, 4, ..., 2^30, +inf) — the right shape for
+      BFS-round and cut-size distributions, which span orders of
+      magnitude. *)
+  type t
+
+  val name : t -> string
+  val observe : t -> float -> unit
+  val observe_int : t -> int -> unit
+  val count : t -> int
+  val sum : t -> float
+end
+
+val histogram : string -> Histogram.t
+
+(** [with_span name f] runs [f ()] inside a span: a named, nestable timing
+    scope.  Spans with the same name under the same parent are merged
+    (count + total time), so the recorded structure is a bounded tree of
+    distinct paths, not an unbounded event log.  Exceptions propagate and
+    the span still closes.  Intended for coarse operations (one spanner
+    build, one experiment) — not per-edge work. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+(** {1 Snapshots}
+
+    A snapshot is an immutable copy of every registered metric, consumed
+    by the sinks in {!Obs_sink}. *)
+
+type histogram_view = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** 0 when the histogram is empty *)
+  h_max : float;  (** 0 when the histogram is empty *)
+  h_buckets : (float option * int) list;
+      (** nonzero buckets only, in increasing bound order; the bound is
+          the bucket's inclusive upper edge, [None] for the overflow
+          bucket *)
+}
+
+type span_view = {
+  s_name : string;
+  s_count : int;
+  s_total_s : float;
+  s_children : span_view list;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  timers : (string * (int * float)) list;  (** name, (count, total seconds) *)
+  histograms : (string * histogram_view) list;
+  spans : span_view list;
+}
+
+val snapshot : unit -> snapshot
+
+(** [reset ()] zeroes every registered metric and clears recorded spans
+    (registrations survive).  Call it before a measured section to scope
+    the next {!snapshot} to that section. *)
+val reset : unit -> unit

@@ -1,0 +1,243 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ----------------------------- printing ----------------------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_literal f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else begin
+    (* shortest representation that round-trips *)
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+  end
+
+let to_buffer ?(indent = false) buf j =
+  let pad level = if indent then Buffer.add_string buf (String.make (2 * level) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  let rec go level = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_literal f)
+    | String s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List xs ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun i x ->
+            if i > 0 then begin Buffer.add_char buf ','; nl () end;
+            pad (level + 1);
+            go (level + 1) x)
+          xs;
+        nl ();
+        pad level;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin Buffer.add_char buf ','; nl () end;
+            pad (level + 1);
+            escape_string buf k;
+            Buffer.add_string buf (if indent then ": " else ":");
+            go (level + 1) v)
+          fields;
+        nl ();
+        pad level;
+        Buffer.add_char buf '}'
+  in
+  go 0 j
+
+let to_string ?(indent = false) j =
+  let buf = Buffer.create 256 in
+  to_buffer ~indent buf j;
+  Buffer.contents buf
+
+let to_channel oc j =
+  output_string oc (to_string ~indent:true j);
+  output_char oc '\n'
+
+(* ----------------------------- parsing ------------------------------ *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | Some x -> error "expected %c at offset %d, found %c" c !pos x
+    | None -> error "expected %c at offset %d, found end of input" c !pos
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else error "invalid literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+          (if !pos >= n then error "unterminated escape";
+           let e = s.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+               if !pos + 4 > n then error "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
+               let code =
+                 try int_of_string ("0x" ^ hex)
+                 with _ -> error "bad \\u escape %S" hex
+               in
+               (* ASCII only; non-ASCII code points pass through as '?'
+                  (the metrics layer never emits them) *)
+               Buffer.add_char buf (if code < 0x80 then Char.chr code else '?')
+           | c -> error "bad escape \\%c" c);
+          go ()
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do advance () done;
+    let tok = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> error "bad number %S" tok
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> error "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> error "expected , or } at offset %d" !pos
+          in
+          fields []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> error "expected , or ] at offset %d" !pos
+          in
+          items []
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing garbage at offset %d" !pos;
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ----------------------------- accessors ---------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_number = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+let to_str = function String s -> Some s | _ -> None

@@ -1,0 +1,38 @@
+(** A minimal, dependency-free JSON tree: enough to serialize metric
+    reports and to parse them back (the round-trip the obs tests and any
+    downstream tooling rely on).  Not a general-purpose JSON library —
+    no streaming, no number-precision preservation beyond OCaml floats.
+
+    Serialization notes: floats print with round-trippable precision
+    ([%.17g] trimmed), non-finite floats as [null] (JSON has no inf/nan),
+    and strings escape control characters per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+
+(** [to_channel oc j] writes [j] (indented) followed by a newline. *)
+val to_channel : out_channel -> t -> unit
+
+(** [of_string s] parses one JSON value (surrounding whitespace allowed;
+    trailing garbage is an error).  Numbers without [./e/E] parse as
+    [Int], others as [Float]. *)
+val of_string : string -> (t, string) result
+
+(** {1 Accessors} — each returns [None] on a kind mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+
+(** [to_number j] accepts both [Int] and [Float]. *)
+val to_number : t -> float option
+
+val to_list : t -> t list option
+val to_str : t -> string option

@@ -1,0 +1,125 @@
+type entry = { id : string; wall_s : float; snap : Obs.snapshot }
+
+(* ------------------------------ pretty ------------------------------ *)
+
+let pp ppf (snap : Obs.snapshot) =
+  let open Format in
+  fprintf ppf "@[<v>";
+  if snap.Obs.counters <> [] then begin
+    fprintf ppf "counters:@,";
+    List.iter
+      (fun (name, v) -> fprintf ppf "  %-32s %12d@," name v)
+      snap.Obs.counters
+  end;
+  if snap.Obs.timers <> [] then begin
+    fprintf ppf "timers:@,";
+    List.iter
+      (fun (name, (count, total)) ->
+        fprintf ppf "  %-32s %10.4f s over %d run%s@," name total count
+          (if count = 1 then "" else "s"))
+      snap.Obs.timers
+  end;
+  if snap.Obs.histograms <> [] then begin
+    fprintf ppf "histograms:@,";
+    List.iter
+      (fun (name, h) ->
+        let mean =
+          if h.Obs.h_count = 0 then 0. else h.Obs.h_sum /. float_of_int h.Obs.h_count
+        in
+        fprintf ppf "  %-32s n=%d mean=%.2f min=%g max=%g@," name h.Obs.h_count
+          mean h.Obs.h_min h.Obs.h_max)
+      snap.Obs.histograms
+  end;
+  if snap.Obs.spans <> [] then begin
+    fprintf ppf "spans:@,";
+    let rec pp_span indent s =
+      fprintf ppf "  %s%-*s %10.4f s over %d run%s@," indent
+        (max 1 (30 - String.length indent))
+        s.Obs.s_name s.Obs.s_total_s s.Obs.s_count
+        (if s.Obs.s_count = 1 then "" else "s");
+      List.iter (pp_span (indent ^ "  ")) s.Obs.s_children
+    in
+    List.iter (pp_span "") snap.Obs.spans
+  end;
+  fprintf ppf "@]"
+
+(* ------------------------------- json ------------------------------- *)
+
+let json_of_histogram (h : Obs.histogram_view) =
+  Obs_json.Obj
+    [
+      ("count", Obs_json.Int h.Obs.h_count);
+      ("sum", Obs_json.Float h.Obs.h_sum);
+      ("min", Obs_json.Float h.Obs.h_min);
+      ("max", Obs_json.Float h.Obs.h_max);
+      ( "buckets",
+        Obs_json.List
+          (List.map
+             (fun (bound, count) ->
+               Obs_json.Obj
+                 [
+                   ( "le",
+                     match bound with
+                     | Some b -> Obs_json.Float b
+                     | None -> Obs_json.Null );
+                   ("count", Obs_json.Int count);
+                 ])
+             h.Obs.h_buckets) );
+    ]
+
+let rec json_of_span (s : Obs.span_view) =
+  Obs_json.Obj
+    [
+      ("name", Obs_json.String s.Obs.s_name);
+      ("count", Obs_json.Int s.Obs.s_count);
+      ("total_s", Obs_json.Float s.Obs.s_total_s);
+      ("children", Obs_json.List (List.map json_of_span s.Obs.s_children));
+    ]
+
+let json_of_snapshot (snap : Obs.snapshot) =
+  Obs_json.Obj
+    [
+      ( "counters",
+        Obs_json.Obj
+          (List.map (fun (name, v) -> (name, Obs_json.Int v)) snap.Obs.counters) );
+      ( "timers",
+        Obs_json.Obj
+          (List.map
+             (fun (name, (count, total)) ->
+               ( name,
+                 Obs_json.Obj
+                   [
+                     ("count", Obs_json.Int count);
+                     ("total_s", Obs_json.Float total);
+                   ] ))
+             snap.Obs.timers) );
+      ( "histograms",
+        Obs_json.Obj
+          (List.map
+             (fun (name, h) -> (name, json_of_histogram h))
+             snap.Obs.histograms) );
+      ("spans", Obs_json.List (List.map json_of_span snap.Obs.spans));
+    ]
+
+let json_of_entry e =
+  match json_of_snapshot e.snap with
+  | Obs_json.Obj fields ->
+      Obs_json.Obj
+        (("id", Obs_json.String e.id)
+        :: ("wall_time_s", Obs_json.Float e.wall_s)
+        :: fields)
+  | _ -> assert false
+
+let json_of_report ~created entries =
+  Obs_json.Obj
+    [
+      ("schema", Obs_json.String "ftspan.metrics.v1");
+      ("created_unix", Obs_json.Float created);
+      ("entries", Obs_json.List (List.map json_of_entry entries));
+    ]
+
+let write_report ~created ~file entries =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Obs_json.to_channel oc (json_of_report ~created entries))

@@ -62,6 +62,20 @@ grep -q "graph ftspan" "$TMP/s.dot" || fail "dot output malformed"
 "$BIN" build -k 2 -f 1 --algo dk11 "$TMP/s.graph" >/dev/null || fail "build dk11"
 "$BIN" build -k 2 -f 1 --algo greedy-exp "$TMP/s.graph" >/dev/null || fail "build exp"
 
+# telemetry: --metrics pretty listing and --metrics=json schema
+# (bare --metrics goes after the positional: with an optional value the
+# flag would otherwise swallow the graph path)
+"$BIN" build -k 2 -f 1 "$TMP/s.graph" --metrics | grep -q "lbc.calls" \
+  || fail "--metrics pretty must list lbc.calls"
+"$BIN" build -k 2 -f 1 --metrics=json "$TMP/s.graph" > "$TMP/metrics.json" \
+  || fail "build --metrics=json"
+grep -q '"schema": "ftspan.metrics.v1"' "$TMP/metrics.json" \
+  || fail "metrics json schema tag"
+grep -q '"lbc.bfs_rounds"' "$TMP/metrics.json" || fail "metrics json bfs rounds"
+grep -q '"wall_time_s"' "$TMP/metrics.json" || fail "metrics json wall time"
+"$BIN" local -k 2 -f 1 --metrics=json "$TMP/s.graph" | grep -q '"net.messages"' \
+  || fail "local --metrics=json must report net counters"
+
 # failure paths: unknown family, bad file, bad algo
 "$BIN" generate --family nope -n 5 -o "$TMP/x" >/dev/null 2>&1 && fail "bad family accepted"
 "$BIN" info /nonexistent.graph >/dev/null 2>&1 && fail "missing file accepted"

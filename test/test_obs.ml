@@ -1,0 +1,305 @@
+(* Tests for the telemetry layer (lib/obs): metric semantics, the master
+   switch, span nesting, snapshot/reset scoping, the JSON sink round-trip
+   through Obs_json.of_string, and agreement between the obs registry and
+   the counters Poly_greedy.build_traced derives from it. *)
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checkf = check (Alcotest.float 1e-9)
+let checks = check Alcotest.string
+
+(* Every test starts from a clean registry state (registrations persist,
+   values do not) with collection on. *)
+let fresh () =
+  Obs.set_enabled true;
+  Obs.reset ()
+
+(* ------------------------- counters ---------------------------------- *)
+
+let test_counter_basics () =
+  fresh ();
+  let c = Obs.counter "test.counter" in
+  checks "name" "test.counter" (Obs.Counter.name c);
+  checki "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  checki "incr + add" 42 (Obs.Counter.value c);
+  (* same name returns the same series *)
+  let c' = Obs.counter "test.counter" in
+  Obs.Counter.incr c';
+  checki "shared by name" 43 (Obs.Counter.value c)
+
+let test_counter_kind_mismatch () =
+  fresh ();
+  let _ = Obs.counter "test.kind" in
+  checkb "timer under a counter name rejected" true
+    (try
+       ignore (Obs.timer "test.kind");
+       false
+     with Invalid_argument _ -> true)
+
+let test_disabled_is_noop () =
+  fresh ();
+  let c = Obs.counter "test.disabled" in
+  let h = Obs.histogram "test.disabled_h" in
+  Obs.set_enabled false;
+  Obs.Counter.incr c;
+  Obs.Counter.add c 10;
+  Obs.Histogram.observe h 5.0;
+  let ran = ref false in
+  Obs.with_span "test.disabled_span" (fun () -> ran := true);
+  Obs.set_enabled true;
+  checkb "body still runs" true !ran;
+  checki "counter untouched" 0 (Obs.Counter.value c);
+  checki "histogram untouched" 0 (Obs.Histogram.count h);
+  let snap = Obs.snapshot () in
+  checkb "no span recorded" true
+    (List.for_all (fun s -> s.Obs.s_name <> "test.disabled_span") snap.Obs.spans)
+
+(* -------------------------- timers ----------------------------------- *)
+
+let test_timer () =
+  fresh ();
+  let t = Obs.timer "test.timer" in
+  let v = Obs.Timer.time t (fun () -> 7) in
+  checki "returns body value" 7 v;
+  Obs.Timer.record t 0.25;
+  checki "two samples" 2 (Obs.Timer.count t);
+  checkb "total includes recorded" true (Obs.Timer.total_s t >= 0.25);
+  (* exceptions propagate and the sample is still taken *)
+  (try Obs.Timer.time t (fun () -> failwith "boom") with Failure _ -> ());
+  checki "sample on raise" 3 (Obs.Timer.count t)
+
+(* ------------------------ histograms --------------------------------- *)
+
+let test_histogram () =
+  fresh ();
+  let h = Obs.histogram "test.hist" in
+  List.iter (Obs.Histogram.observe_int h) [ 1; 3; 3; 100 ];
+  checki "count" 4 (Obs.Histogram.count h);
+  checkf "sum" 107.0 (Obs.Histogram.sum h);
+  let snap = Obs.snapshot () in
+  let view = List.assoc "test.hist" snap.Obs.histograms in
+  checkf "min" 1.0 view.Obs.h_min;
+  checkf "max" 100.0 view.Obs.h_max;
+  (* power-of-two buckets: 1 -> le 1, 3;3 -> le 4, 100 -> le 128 *)
+  let bucket le =
+    try List.assoc le view.Obs.h_buckets with Not_found -> 0
+  in
+  checki "bucket le=1" 1 (bucket (Some 1.0));
+  checki "bucket le=4" 2 (bucket (Some 4.0));
+  checki "bucket le=128" 1 (bucket (Some 128.0));
+  checki "bucket counts total" 4
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 view.Obs.h_buckets)
+
+let test_histogram_overflow () =
+  fresh ();
+  let h = Obs.histogram "test.hist_over" in
+  Obs.Histogram.observe h 1e12;
+  let snap = Obs.snapshot () in
+  let view = List.assoc "test.hist_over" snap.Obs.histograms in
+  checki "overflow bucket" 1 (List.assoc None view.Obs.h_buckets)
+
+(* --------------------------- spans ----------------------------------- *)
+
+let test_span_nesting () =
+  fresh ();
+  (* two a-spans, each holding one b-span, plus one sibling c -> the
+     merged tree is a(2){ b(2) } c(1) *)
+  for _ = 1 to 2 do
+    Obs.with_span "a" (fun () -> Obs.with_span "b" (fun () -> ()))
+  done;
+  Obs.with_span "c" (fun () -> ());
+  let snap = Obs.snapshot () in
+  let find name l =
+    match List.find_opt (fun s -> s.Obs.s_name = name) l with
+    | Some s -> s
+    | None -> Alcotest.failf "span %s missing" name
+  in
+  let a = find "a" snap.Obs.spans in
+  checki "a merged" 2 a.Obs.s_count;
+  let b = find "b" a.Obs.s_children in
+  checki "b nested under a" 2 b.Obs.s_count;
+  checki "c at top level" 1 (find "c" snap.Obs.spans).Obs.s_count;
+  checkb "a time covers b" true (a.Obs.s_total_s >= b.Obs.s_total_s)
+
+let test_span_exception_closes () =
+  fresh ();
+  (try Obs.with_span "outer" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (* the stack unwound: a fresh span lands at the top level, not under
+     the aborted one *)
+  Obs.with_span "after" (fun () -> ());
+  let snap = Obs.snapshot () in
+  checkb "after is a root span" true
+    (List.exists (fun s -> s.Obs.s_name = "after") snap.Obs.spans)
+
+let test_reset () =
+  fresh ();
+  let c = Obs.counter "test.reset" in
+  Obs.Counter.add c 5;
+  Obs.with_span "test.reset_span" (fun () -> ());
+  Obs.reset ();
+  checki "counter zeroed" 0 (Obs.Counter.value c);
+  let snap = Obs.snapshot () in
+  checkb "spans cleared" true (snap.Obs.spans = []);
+  Obs.Counter.incr c;
+  checki "registration survives" 1 (Obs.Counter.value c)
+
+(* ------------------------- JSON sink --------------------------------- *)
+
+let get_exn msg = function Some x -> x | None -> Alcotest.failf "%s" msg
+
+let member path j =
+  List.fold_left
+    (fun j key -> get_exn ("missing " ^ key) (Obs_json.member key j))
+    j path
+
+let test_json_roundtrip () =
+  fresh ();
+  Obs.Counter.add (Obs.counter "rt.counter") 17;
+  Obs.Timer.record (Obs.timer "rt.timer") 0.5;
+  Obs.Histogram.observe_int (Obs.histogram "rt.hist") 6;
+  Obs.with_span "rt.outer" (fun () -> Obs.with_span "rt.inner" (fun () -> ()));
+  let entry = { Obs_sink.id = "unit"; wall_s = 1.25; snap = Obs.snapshot () } in
+  let doc = Obs_sink.json_of_report ~created:1754000000.0 [ entry ] in
+  (* serialize (indented, as the CLI does) and parse back *)
+  let text = Obs_json.to_string ~indent:true doc in
+  let parsed =
+    match Obs_json.of_string text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "parse error: %s" e
+  in
+  checks "schema" "ftspan.metrics.v1"
+    (get_exn "schema str" (Obs_json.to_str (member [ "schema" ] parsed)));
+  let entries =
+    get_exn "entries" (Obs_json.to_list (member [ "entries" ] parsed))
+  in
+  checki "one entry" 1 (List.length entries);
+  let e = List.hd entries in
+  checks "id" "unit" (get_exn "id" (Obs_json.to_str (member [ "id" ] e)));
+  checkf "wall time" 1.25
+    (get_exn "wall" (Obs_json.to_number (member [ "wall_time_s" ] e)));
+  checki "counter value" 17
+    (get_exn "ctr" (Obs_json.to_int (member [ "counters"; "rt.counter" ] e)));
+  checki "timer count" 1
+    (get_exn "tc" (Obs_json.to_int (member [ "timers"; "rt.timer"; "count" ] e)));
+  checkf "timer total" 0.5
+    (get_exn "ts"
+       (Obs_json.to_number (member [ "timers"; "rt.timer"; "total_s" ] e)));
+  checkf "histogram sum" 6.0
+    (get_exn "hs"
+       (Obs_json.to_number (member [ "histograms"; "rt.hist"; "sum" ] e)));
+  (* bucket for 6 is le=8 *)
+  let buckets =
+    get_exn "buckets"
+      (Obs_json.to_list (member [ "histograms"; "rt.hist"; "buckets" ] e))
+  in
+  checkb "le=8 bucket present" true
+    (List.exists
+       (fun b ->
+         Obs_json.to_number (member [ "le" ] b) = Some 8.0
+         && Obs_json.to_int (member [ "count" ] b) = Some 1)
+       buckets);
+  (* span tree nests in the JSON too *)
+  let spans = get_exn "spans" (Obs_json.to_list (member [ "spans" ] e)) in
+  let outer =
+    get_exn "rt.outer"
+      (List.find_opt
+         (fun s -> Obs_json.to_str (member [ "name" ] s) = Some "rt.outer")
+         spans)
+  in
+  let children =
+    get_exn "children" (Obs_json.to_list (member [ "children" ] outer))
+  in
+  checkb "inner nested" true
+    (List.exists
+       (fun s -> Obs_json.to_str (member [ "name" ] s) = Some "rt.inner")
+       children)
+
+let test_json_parser_errors () =
+  checkb "trailing garbage rejected" true
+    (Result.is_error (Obs_json.of_string "{} x"));
+  checkb "bare word rejected" true (Result.is_error (Obs_json.of_string "nope"));
+  checkb "unterminated string rejected" true
+    (Result.is_error (Obs_json.of_string "\"abc"));
+  (match Obs_json.of_string " [1, 2.5, null, \"s\"] " with
+  | Ok (Obs_json.List [ Obs_json.Int 1; Obs_json.Float 2.5; Obs_json.Null;
+                        Obs_json.String "s" ]) -> ()
+  | _ -> Alcotest.fail "mixed list misparsed")
+
+(* ------------------- trace / registry agreement ---------------------- *)
+
+let test_trace_matches_registry () =
+  fresh ();
+  let r = Rng.create ~seed:2026 in
+  let g = Generators.connected_gnp r ~n:40 ~p:0.2 in
+  let calls0 = Obs.Counter.value (Obs.counter "lbc.calls") in
+  let yes0 = Obs.Counter.value (Obs.counter "lbc.yes") in
+  let rounds0 = Obs.Counter.value (Obs.counter "lbc.bfs_rounds") in
+  let sel, trace = Poly_greedy.build_traced ~mode:Fault.VFT ~k:2 ~f:1 g in
+  checki "lbc_calls = registry delta"
+    (Obs.Counter.value (Obs.counter "lbc.calls") - calls0)
+    trace.Poly_greedy.lbc_calls;
+  checki "yes_answers = registry delta"
+    (Obs.Counter.value (Obs.counter "lbc.yes") - yes0)
+    trace.Poly_greedy.yes_answers;
+  checki "bfs_rounds = registry delta"
+    (Obs.Counter.value (Obs.counter "lbc.bfs_rounds") - rounds0)
+    trace.Poly_greedy.bfs_rounds;
+  (* registry-level invariants mirrored from the trace contract *)
+  checki "one LBC call per edge" (Graph.m g) trace.Poly_greedy.lbc_calls;
+  checki "yes answers = spanner size" sel.Selection.size
+    trace.Poly_greedy.yes_answers;
+  let snap = Obs.snapshot () in
+  let cut = List.assoc "lbc.cut_size" snap.Obs.histograms in
+  checki "one cut observation per Yes" trace.Poly_greedy.yes_answers
+    cut.Obs.h_count;
+  checkb "build span recorded" true
+    (List.exists (fun s -> s.Obs.s_name = "poly_greedy.build") snap.Obs.spans)
+
+let test_trace_zero_when_disabled () =
+  fresh ();
+  let r = Rng.create ~seed:7 in
+  let g = Generators.connected_gnp r ~n:20 ~p:0.3 in
+  Obs.set_enabled false;
+  let sel, trace = Poly_greedy.build_traced ~mode:Fault.VFT ~k:2 ~f:1 g in
+  Obs.set_enabled true;
+  checkb "spanner still built" true (sel.Selection.size > 0);
+  checki "calls zero when disabled" 0 trace.Poly_greedy.lbc_calls;
+  checki "rounds zero when disabled" 0 trace.Poly_greedy.bfs_rounds;
+  checki "yes zero when disabled" 0 trace.Poly_greedy.yes_answers
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "kind mismatch" `Quick test_counter_kind_mismatch;
+          Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "timer" `Quick test_timer;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram overflow" `Quick test_histogram_overflow;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and merge" `Quick test_span_nesting;
+          Alcotest.test_case "exception closes span" `Quick
+            test_span_exception_closes;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "report round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parser errors" `Quick test_json_parser_errors;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "trace = registry deltas" `Quick
+            test_trace_matches_registry;
+          Alcotest.test_case "trace zero when disabled" `Quick
+            test_trace_zero_when_disabled;
+        ] );
+    ]

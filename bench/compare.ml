@@ -1,0 +1,94 @@
+(* Bench regression gate over two ftspan.metrics.v1 reports.
+
+   Usage:
+     compare.exe [--slack F] [--tol-wall F] [--tol-wall-abs S]
+                 [--tol-counter F] BASELINE.json RUN.json
+
+   Entries are matched by id; the wall time and every counter are judged
+   by Obs_compare against per-metric tolerances (counters tight — the
+   repo's seeds make them deterministic; wall time loose, with an
+   absolute floor so sub-noise timings cannot fail).  [--slack] scales
+   every tolerance at once: the @obs-check alias passes [--slack 2] so
+   the gate stays stable on shared runners.
+
+   Exit status: 0 when every metric is within tolerance (improvements
+   included), 1 on any regression or baseline metric missing from the
+   run, 2 on usage or parse errors — the same error/usage split as
+   main.exe. *)
+
+let usage () =
+  prerr_endline
+    "usage: compare.exe [--slack F] [--tol-wall F] [--tol-wall-abs S] \
+     [--tol-counter F] BASELINE.json RUN.json";
+  exit 2
+
+let bad fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "compare.exe: %s\n" msg;
+      usage ())
+    fmt
+
+let read_report file =
+  let text =
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> bad "%s" msg
+  in
+  match Obs_json.of_string text with
+  | Ok j -> j
+  | Error msg -> bad "%s: %s" file msg
+
+let () =
+  let tol = ref Obs_compare.default_tolerances in
+  let slack = ref 1.0 in
+  let files = ref [] in
+  let float_of name s =
+    match float_of_string_opt s with
+    | Some f when f > 0. -> f
+    | _ -> bad "%s expects a positive number, got %S" name s
+  in
+  let rec go = function
+    | [] -> ()
+    | "--slack" :: v :: rest ->
+        slack := float_of "--slack" v;
+        go rest
+    | "--tol-wall" :: v :: rest ->
+        tol := { !tol with Obs_compare.wall_rel = float_of "--tol-wall" v };
+        go rest
+    | "--tol-wall-abs" :: v :: rest ->
+        tol := { !tol with Obs_compare.wall_abs = float_of "--tol-wall-abs" v };
+        go rest
+    | "--tol-counter" :: v :: rest ->
+        tol := { !tol with Obs_compare.counter_rel = float_of "--tol-counter" v };
+        go rest
+    | [ ("--slack" | "--tol-wall" | "--tol-wall-abs" | "--tol-counter") ] ->
+        bad "missing option value"
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        bad "unknown option %S" arg
+    | file :: rest ->
+        files := file :: !files;
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let base_file, run_file =
+    match List.rev !files with
+    | [ b; r ] -> (b, r)
+    | _ -> bad "expected exactly two report files"
+  in
+  let tol = Obs_compare.scale !slack !tol in
+  let base = read_report base_file and run = read_report run_file in
+  match Obs_compare.compare_reports ~tol base run with
+  | Error msg -> bad "%s" msg
+  | Ok findings ->
+      Printf.printf "baseline %s vs run %s (slack %.2g)\n\n" base_file run_file
+        !slack;
+      Format.printf "%a@." Obs_compare.pp_findings findings;
+      if Obs_compare.regressed findings then begin
+        print_endline "\nREGRESSION: run exceeds the baseline tolerance";
+        exit 1
+      end
+      else print_endline "\nOK: within tolerance of the baseline"

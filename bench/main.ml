@@ -6,18 +6,24 @@
      dune exec bench/main.exe -- micro               # micro benchmarks only
      dune exec bench/main.exe -- --smoke             # seconds-scale smoke subset
      dune exec bench/main.exe -- --json out.json e2  # + ftspan.metrics.v1 report
+     dune exec bench/main.exe -- --match lbc         # jobs whose id contains "lbc"
+     dune exec bench/main.exe -- --trace t.json,chrome e2  # + event trace
 
    Experiment ids follow DESIGN.md's index (e1..e17); each regenerates the
    table validating one of the paper's theorems, and EXPERIMENTS.md records
    the paper-claim vs measured comparison.  With [--json] each job runs
    against a freshly reset telemetry registry and its snapshot (wall time,
    every counter/timer/histogram, span tree) becomes one report entry.
+   With [--trace FILE[,chrome]] the whole run is event-traced (Obs_trace)
+   and the log written when the last job finishes.
 
    Unknown arguments are an error: usage goes to stderr and the process
    exits with code 2, so typos cannot silently skip experiments in CI. *)
 
 let usage oc =
-  output_string oc "usage: main.exe [--json FILE] [--smoke] [e1..e17|micro]...\n";
+  output_string oc
+    "usage: main.exe [--json FILE] [--trace FILE[,chrome]] [--smoke] \
+     [--match SUBSTR] [e1..e17|micro]...\n";
   output_string oc "experiments:\n";
   List.iter (fun (name, _) -> Printf.fprintf oc "  %s\n" name) Experiments.by_name;
   output_string oc "smoke subset (also run by --smoke):\n";
@@ -43,19 +49,42 @@ let lookup_job id =
         | Some fn -> (id, fn)
         | None -> bad_usage "unknown experiment id %S" id)
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+  scan 0
+
 let parse_args args =
-  let json = ref None and smoke = ref false and jobs = ref [] in
+  let json = ref None and trace = ref None and smoke = ref false in
+  let filter = ref None and jobs = ref [] in
+  let set_trace spec =
+    match Obs_trace.parse_spec spec with
+    | Some t -> trace := Some t
+    | None -> bad_usage "--trace requires a file argument"
+  in
+  let opt_with_value name set = function
+    | value :: rest ->
+        set value;
+        rest
+    | [] -> bad_usage "%s requires an argument" name
+  in
   let rec go = function
     | [] -> ()
-    | "--json" :: file :: rest ->
-        json := Some file;
-        go rest
-    | [ "--json" ] -> bad_usage "--json requires a file argument"
+    | "--json" :: rest -> go (opt_with_value "--json" (fun f -> json := Some f) rest)
+    | "--trace" :: rest -> go (opt_with_value "--trace" set_trace rest)
+    | "--match" :: rest ->
+        go (opt_with_value "--match" (fun s -> filter := Some s) rest)
     | "--smoke" :: rest ->
         smoke := true;
         go rest
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--json=" ->
         json := Some (String.sub arg 7 (String.length arg - 7));
+        go rest
+    | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
+        set_trace (String.sub arg 8 (String.length arg - 8));
+        go rest
+    | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--match=" ->
+        filter := Some (String.sub arg 8 (String.length arg - 8));
         go rest
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
         bad_usage "unknown option %S" arg
@@ -71,7 +100,14 @@ let parse_args args =
       Experiments.by_name @ [ ("micro", Micro.run) ]
     else jobs
   in
-  (!json, jobs)
+  (* [--match] narrows whatever the flags above selected; it may narrow
+     it to nothing, which is not an error (see the empty-report guard). *)
+  let jobs =
+    match !filter with
+    | None -> jobs
+    | Some sub -> List.filter (fun (id, _) -> contains ~sub id) jobs
+  in
+  (!json, !trace, jobs)
 
 let run_job (id, fn) =
   Obs.reset ();
@@ -79,13 +115,28 @@ let run_job (id, fn) =
   { Obs_sink.id; wall_s = wall; snap = Obs.snapshot () }
 
 let () =
-  let json, jobs =
-    match Array.to_list Sys.argv with _ :: args -> parse_args args | [] -> (None, [])
+  let json, trace, jobs =
+    match Array.to_list Sys.argv with
+    | _ :: args -> parse_args args
+    | [] -> (None, None, [])
   in
+  Option.iter (fun _ -> Obs_trace.start ()) trace;
   let entries = List.map run_job jobs in
+  (match trace with
+  | None -> ()
+  | Some (file, fmt) ->
+      Obs_trace.stop ();
+      Obs_trace.write ~file fmt;
+      Printf.printf "\ntrace written to %s (%d events, %d dropped)\n" file
+        (Obs_trace.seen ()) (Obs_trace.dropped ()));
   match json with
   | None -> ()
   | Some file ->
-      Obs_sink.write_report ~created:(Unix.time ()) ~file entries;
+      (* Written even when the job list resolved to zero jobs: downstream
+         tooling (compare.exe, the @obs-check gate) must always find a
+         valid ftspan.metrics.v1 document, never a missing file. *)
+      if entries = [] then
+        Printf.printf "no jobs selected; writing an empty report\n";
+      Obs_sink.write_report ~file entries;
       Printf.printf "\nmetrics report written to %s (%d entries)\n" file
         (List.length entries)

@@ -65,9 +65,42 @@ let with_metrics metrics ~id f =
           Format.printf "%a@." Obs_sink.pp entry.Obs_sink.snap
       | `Json ->
           print_endline
-            (Obs_json.to_string ~indent:true
-               (Obs_sink.json_of_report ~created:(Unix.time ()) [ entry ])));
+            (Obs_json.to_string ~indent:true (Obs_sink.json_of_report [ entry ])));
       result
+
+let trace_arg =
+  let doc =
+    "Record a structured event trace (per-edge LBC verdicts, greedy \
+     keep/reject decisions, per-round CONGEST traffic) and write it to \
+     $(docv) when the command finishes.  A $(b,,chrome) suffix selects \
+     the Chrome trace-event format (open the file in chrome://tracing or \
+     https://ui.perfetto.dev); the default is the native ftspan.trace.v1 \
+     JSON."
+  in
+  let spec_conv =
+    Arg.conv
+      ( (fun s ->
+          match Obs_trace.parse_spec s with
+          | Some spec -> Ok spec
+          | None -> Error (`Msg "empty trace file name")),
+        Obs_trace.pp_spec )
+  in
+  Arg.(value & opt (some spec_conv) None & info [ "trace" ] ~docv:"FILE[,chrome]" ~doc)
+
+(* Wrap a subcommand body in event collection; the file is written even
+   when the body raises, so aborted runs keep their partial trace. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some (file, fmt) ->
+      Obs_trace.start ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs_trace.stop ();
+          Obs_trace.write ~file fmt;
+          Printf.printf "trace written to %s (%d events, %d dropped)\n" file
+            (Obs_trace.seen ()) (Obs_trace.dropped ()))
+        f
 
 (* --------------------------- generate -------------------------------- *)
 
@@ -200,10 +233,11 @@ let save_selection sel file =
       List.iter (fun id -> output_string oc (string_of_int id ^ "\n")) (Selection.ids sel))
 
 let build_cmd =
-  let run seed k f mode algo metrics file out dot =
+  let run seed k f mode algo metrics trace file out dot =
     Result.map
       (fun g ->
         with_metrics metrics ~id:"build" @@ fun () ->
+        with_trace trace @@ fun () ->
         let rng = Rng.create ~seed in
         let params = { Spanner.k; f; mode } in
         let t0 = Unix.gettimeofday () in
@@ -233,7 +267,7 @@ let build_cmd =
     Term.(
       term_result
         (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ algo_arg
-       $ metrics_arg $ graph_arg $ spanner_out_arg $ dot_out_arg))
+       $ metrics_arg $ trace_arg $ graph_arg $ spanner_out_arg $ dot_out_arg))
   in
   Cmd.v (Cmd.info "build" ~doc:"Construct a fault-tolerant spanner.") term
 
@@ -311,10 +345,11 @@ let verify_cmd =
 (* ----------------------------- local ---------------------------------- *)
 
 let local_cmd =
-  let run seed k f mode metrics file =
+  let run seed k f mode metrics trace file =
     Result.map
       (fun g ->
         with_metrics metrics ~id:"local" @@ fun () ->
+        with_trace trace @@ fun () ->
         let rng = Rng.create ~seed in
         let res = Local_spanner.build rng ~mode ~k ~f g in
         let d = res.Local_spanner.decomposition in
@@ -337,7 +372,8 @@ let local_cmd =
   let term =
     Term.(
       term_result
-        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ metrics_arg $ graph_arg))
+        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ metrics_arg
+       $ trace_arg $ graph_arg))
   in
   Cmd.v
     (Cmd.info "local" ~doc:"Run the LOCAL-model construction (Theorem 12).")
@@ -350,10 +386,11 @@ let c_arg =
   Arg.(value & opt float 1.0 & info [ "c" ] ~docv:"C" ~doc)
 
 let congest_cmd =
-  let run seed k f mode c metrics file =
+  let run seed k f mode c metrics trace file =
     Result.map
       (fun g ->
         with_metrics metrics ~id:"congest" @@ fun () ->
+        with_trace trace @@ fun () ->
         let rng = Rng.create ~seed in
         let res = Congest_ft.build rng ~c ~mode ~k ~f g in
         Printf.printf "iterations: %d (word size %d bits)\n" res.Congest_ft.iterations
@@ -372,7 +409,7 @@ let congest_cmd =
     Term.(
       term_result
         (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ c_arg $ metrics_arg
-       $ graph_arg))
+       $ trace_arg $ graph_arg))
   in
   Cmd.v
     (Cmd.info "congest" ~doc:"Run the CONGEST-model construction (Theorem 15).")
@@ -385,10 +422,11 @@ let queries_arg =
   Arg.(value & opt int 1000 & info [ "queries" ] ~docv:"N" ~doc)
 
 let oracle_cmd =
-  let run seed k queries metrics file =
+  let run seed k queries metrics trace file =
     Result.map
       (fun g ->
         with_metrics metrics ~id:"oracle" @@ fun () ->
+        with_trace trace @@ fun () ->
         let rng = Rng.create ~seed in
         let t0 = Unix.gettimeofday () in
         let oracle = Oracle.build rng ~k g in
@@ -420,7 +458,8 @@ let oracle_cmd =
   let term =
     Term.(
       term_result
-        (const run $ seed_arg $ k_arg $ queries_arg $ metrics_arg $ graph_arg))
+        (const run $ seed_arg $ k_arg $ queries_arg $ metrics_arg $ trace_arg
+       $ graph_arg))
   in
   Cmd.v
     (Cmd.info "oracle" ~doc:"Build a Thorup-Zwick distance oracle and sample queries.")

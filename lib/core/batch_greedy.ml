@@ -7,7 +7,9 @@ let decide_range ~mode ~t ~f h edges verdicts lo hi =
   let ws = Lbc.Workspace.create () in
   for i = lo to hi - 1 do
     let e = edges.(i) in
-    match Lbc.decide ~ws ~mode h ~u:e.Graph.u ~v:e.Graph.v ~t ~alpha:f with
+    match
+      Lbc.decide ~ws ~edge:e.Graph.id ~mode h ~u:e.Graph.u ~v:e.Graph.v ~t ~alpha:f
+    with
     | Lbc.Yes _ -> verdicts.(i) <- true
     | Lbc.No _ -> ()
   done
@@ -48,14 +50,21 @@ let build_impl ?(order = Poly_greedy.By_weight) ~decide ~mode ~k ~f ~batch g =
     let hi = min m (!pos + batch) in
     incr batches;
     Obs.Counter.incr m_batches;
+    if Obs_trace.enabled () then
+      Obs_trace.emit (Obs_trace.Phase { name = "batch_greedy.batch"; index = !batches });
     if hi - !pos > !max_batch then max_batch := hi - !pos;
     (* Decision phase: every edge of the batch is judged against the same
        frozen H. *)
     decide ~mode ~t ~f h edges verdicts !pos hi;
     (* Commit phase. *)
+    let tracing = Obs_trace.enabled () in
     for i = !pos to hi - 1 do
+      let e = edges.(i) in
+      if tracing then
+        Obs_trace.emit
+          (Obs_trace.Greedy_edge
+             { edge = e.Graph.id; kept = verdicts.(i); weight = e.Graph.w });
       if verdicts.(i) then begin
-        let e = edges.(i) in
         ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
         selected.(e.Graph.id) <- true;
         Obs.Counter.incr m_committed

@@ -93,7 +93,11 @@ let build_greedy ~decide ~mode ~k ~f g =
   let consider e =
     Obs.Counter.incr m_decisions;
     let budget = stretch *. e.Graph.w in
-    if decide ~mode h ~u:e.Graph.u ~v:e.Graph.v ~budget ~f then begin
+    let kept = decide ~mode h ~u:e.Graph.u ~v:e.Graph.v ~budget ~f in
+    if Obs_trace.enabled () then
+      Obs_trace.emit
+        (Obs_trace.Greedy_edge { edge = e.Graph.id; kept; weight = e.Graph.w });
+    if kept then begin
       ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
       selected.(e.Graph.id) <- true
     end

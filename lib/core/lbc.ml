@@ -29,10 +29,14 @@ let m_bfs_rounds = Obs.counter "lbc.bfs_rounds"
 let h_rounds = Obs.histogram "lbc.rounds_per_call"
 let h_cut = Obs.histogram "lbc.cut_size"
 
-let decide ?ws ~mode g ~u ~v ~t ~alpha =
+let decide ?ws ?(edge = -1) ~mode g ~u ~v ~t ~alpha =
   if u = v then invalid_arg "Lbc.decide: u = v";
   if t < 1 then invalid_arg "Lbc.decide: t must be >= 1";
   if alpha < 0 then invalid_arg "Lbc.decide: alpha must be >= 0";
+  (* Sampled once: the begin/end pair must agree on whether it exists
+     even if tracing is toggled mid-call. *)
+  let tracing = Obs_trace.enabled () in
+  if tracing then Obs_trace.emit (Obs_trace.Lbc_begin { edge; u; v; t; alpha });
   (* The fallback workspace is created per call: a shared module-level
      scratch would make concurrent workspace-less calls (parallel batch
      decisions, future multi-domain users) corrupt each other's masks. *)
@@ -83,6 +87,15 @@ let decide ?ws ~mode g ~u ~v ~t ~alpha =
     end
   in
   let verdict = rounds 1 in
+  if tracing then
+    Obs_trace.emit
+      (Obs_trace.Lbc_end
+         {
+           edge;
+           yes = (match verdict with Yes _ -> true | No _ -> false);
+           bfs_rounds = !bfs_rounds;
+           cut_size = (match verdict with Yes _ -> List.length !dirty | No _ -> 0);
+         });
   if Obs.enabled () then begin
     Obs.Counter.incr m_calls;
     Obs.Counter.add m_bfs_rounds !bfs_rounds;

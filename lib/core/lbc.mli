@@ -39,9 +39,10 @@ type verdict =
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
-(** [decide ?ws ~mode g ~u ~v ~t ~alpha] runs Algorithm 2.  Requirements:
-    [u <> v], [t >= 1], [alpha >= 0].  The graph may lack the edge [{u,v}]
-    (in the greedy it always does — the candidate edge is not yet added).
+(** [decide ?ws ?edge ~mode g ~u ~v ~t ~alpha] runs Algorithm 2.
+    Requirements: [u <> v], [t >= 1], [alpha >= 0].  The graph may lack
+    the edge [{u,v}] (in the greedy it always does — the candidate edge
+    is not yet added).
 
     When [ws] is omitted a fresh workspace is created for the call, so
     workspace-less calls are reentrant and domain-safe; hot loops should
@@ -50,9 +51,14 @@ val pp_verdict : Format.formatter -> verdict -> unit
     Every call reports to the telemetry layer (unless {!Obs.set_enabled}
     is off): counters [lbc.calls], [lbc.yes], [lbc.no] and
     [lbc.bfs_rounds] (exact BFS invocations), plus histograms
-    [lbc.rounds_per_call] and [lbc.cut_size]. *)
+    [lbc.rounds_per_call] and [lbc.cut_size].  While {!Obs_trace} is
+    collecting, the call additionally emits an [Lbc_begin]/[Lbc_end]
+    event pair; [edge] (default [-1]) labels those events with the
+    caller's candidate-edge id in the {e source} graph — the decision
+    itself never reads it. *)
 val decide :
   ?ws:Workspace.t ->
+  ?edge:int ->
   mode:Fault.mode ->
   Graph.t ->
   u:int ->

@@ -50,9 +50,12 @@ let build_impl ?(order = By_weight) ?on_add ~mode ~k ~f g =
   let rounds0 = Obs.Counter.value c_lbc_bfs_rounds in
   let consider e =
     Obs.Counter.incr m_considered;
-    match Lbc.decide ~ws ~mode h ~u:e.Graph.u ~v:e.Graph.v ~t ~alpha:f with
+    match Lbc.decide ~ws ~edge:e.Graph.id ~mode h ~u:e.Graph.u ~v:e.Graph.v ~t ~alpha:f with
     | Lbc.Yes { cut } ->
         Obs.Counter.incr m_added;
+        if Obs_trace.enabled () then
+          Obs_trace.emit
+            (Obs_trace.Greedy_edge { edge = e.Graph.id; kept = true; weight = e.Graph.w });
         (match on_add with
         | Some fn ->
             (* [cut] holds H-local ids; report the certificate in the
@@ -62,7 +65,10 @@ let build_impl ?(order = By_weight) ?on_add ~mode ~k ~f g =
         | None -> ());
         ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
         selected.(e.Graph.id) <- true
-    | Lbc.No _ -> ()
+    | Lbc.No _ ->
+        if Obs_trace.enabled () then
+          Obs_trace.emit
+            (Obs_trace.Greedy_edge { edge = e.Graph.id; kept = false; weight = e.Graph.w })
   in
   Array.iter consider edges;
   ( Selection.of_mask g selected,

@@ -76,6 +76,8 @@ let build rng ?(c = 1.0) ?word_bits ~mode ~k ~f g =
   (* loads per BS step: hashtable (step, parent_edge, dir) -> (bits, instances) *)
   let loads : (int * int * int, int * int) Hashtbl.t = Hashtbl.create 4096 in
   for it = 0 to j - 1 do
+    if Obs_trace.enabled () then
+      Obs_trace.emit (Obs_trace.Phase { name = "congest_ft.iteration"; index = it });
     let sub =
       match mode with
       | Fault.VFT ->

@@ -113,6 +113,19 @@ let run rng ?(beta = 0.25) ?partitions g =
     Array.init ell (fun p ->
         { center_of = best_center.(p); parent_of = parent.(p); depth_of = depth.(p) })
   in
+  if Obs_trace.enabled () then
+    Array.iteri
+      (fun p c ->
+        let centers = Hashtbl.create 16 in
+        Array.iter (fun ctr -> Hashtbl.replace centers ctr ()) c.center_of;
+        Obs_trace.emit
+          (Obs_trace.Cluster_stats
+             {
+               partition = p;
+               clusters = Hashtbl.length centers;
+               max_depth = Array.fold_left max 0 c.depth_of;
+             }))
+      partitions;
   {
     partitions;
     covered;

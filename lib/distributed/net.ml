@@ -40,6 +40,10 @@ type 'msg t = {
   edge_round_bits : int array;  (* 2m slots: per edge per direction *)
   mutable touched : int list;  (* slots dirtied this round *)
   mutable past_rounds : (int * int * int) list list;  (* reverse order *)
+  (* totals at the previous [next_round], so the trace event carries this
+     round's traffic rather than the running sum *)
+  mutable msg_mark : int;
+  mutable bits_mark : int;
 }
 
 let create ?(record_history = false) ~model ~bits g =
@@ -60,6 +64,8 @@ let create ?(record_history = false) ~model ~bits g =
     edge_round_bits = Array.make (max 1 (2 * Graph.m g)) 0;
     touched = [];
     past_rounds = [];
+    msg_mark = 0;
+    bits_mark = 0;
   }
 
 let graph net = net.g
@@ -114,7 +120,15 @@ let next_round net =
   List.iter (fun s -> net.edge_round_bits.(s) <- 0) net.touched;
   net.touched <- [];
   net.round <- net.round + 1;
-  Obs.Counter.incr m_rounds
+  Obs.Counter.incr m_rounds;
+  let round_msgs = net.messages - net.msg_mark in
+  let round_bits = net.total_bits - net.bits_mark in
+  net.msg_mark <- net.messages;
+  net.bits_mark <- net.total_bits;
+  if Obs_trace.enabled () then
+    Obs_trace.emit
+      (Obs_trace.Congest_round
+         { round = net.round; messages = round_msgs; bits = round_bits })
 
 let inbox net v = net.delivered.(v)
 

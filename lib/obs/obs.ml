@@ -104,6 +104,10 @@ let make_span_node name =
 
 let span_roots : (string, span_node) Hashtbl.t = Hashtbl.create 8
 let span_stack : span_node list ref = ref []
+let span_hook : ([ `Begin | `End ] -> string -> unit) option ref = ref None
+let set_span_hook h = span_hook := h
+let run_hook phase name =
+  match !span_hook with Some h -> h phase name | None -> ()
 
 let find_span_node table name =
   match Hashtbl.find_opt table name with
@@ -121,11 +125,13 @@ let with_span name f =
     in
     let node = find_span_node table name in
     span_stack := node :: !span_stack;
+    run_hook `Begin name;
     let t0 = now_s () in
     Fun.protect
       ~finally:(fun () ->
         node.sp_count <- node.sp_count + 1;
         node.sp_total <- node.sp_total +. (now_s () -. t0);
+        run_hook `End name;
         match !span_stack with
         | top :: rest when top == node -> span_stack := rest
         | _ -> (* a reset () ran inside the span; the stack is gone *) ())

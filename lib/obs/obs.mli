@@ -91,6 +91,15 @@ val histogram : string -> Histogram.t
     build, one experiment) — not per-edge work. *)
 val with_span : string -> (unit -> 'a) -> 'a
 
+(** [set_span_hook h] installs (or, with [None], removes) an observer
+    called on every span boundary that {!with_span} records: [`Begin]
+    right before the body runs and [`End] when it closes (exceptions
+    included).  The hook fires only while {!enabled} — spans skipped by
+    the master switch are invisible to it.  {!Obs_trace} uses this to turn
+    the merged span tree into a time-ordered event log; hooks must not
+    call {!with_span} themselves. *)
+val set_span_hook : ([ `Begin | `End ] -> string -> unit) option -> unit
+
 (** {1 Snapshots}
 
     A snapshot is an immutable copy of every registered metric, consumed

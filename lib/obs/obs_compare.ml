@@ -1,0 +1,187 @@
+type verdict = Within | Improved | Regression | Missing | New
+
+type finding = {
+  entry : string;
+  metric : string;
+  base_v : float option;
+  run_v : float option;
+  limit : float;
+  verdict : verdict;
+}
+
+type tolerances = { wall_rel : float; wall_abs : float; counter_rel : float }
+
+let default_tolerances = { wall_rel = 1.5; wall_abs = 0.25; counter_rel = 0.25 }
+
+let scale s t =
+  if s <= 0. then invalid_arg "Obs_compare.scale: factor must be positive";
+  {
+    wall_rel = s *. t.wall_rel;
+    wall_abs = s *. t.wall_abs;
+    counter_rel = s *. t.counter_rel;
+  }
+
+(* ---------------------- report destructuring ------------------------ *)
+
+type entry_view = {
+  ev_id : string;
+  ev_wall : float;
+  ev_counters : (string * float) list;  (* in document order *)
+}
+
+let ( let* ) = Result.bind
+
+let field name conv j ~ctx =
+  match Option.bind (Obs_json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing or ill-typed %S" ctx name)
+
+let view_entry j =
+  let* id = field "id" Obs_json.to_str j ~ctx:"entry" in
+  let ctx = "entry " ^ id in
+  let* wall = field "wall_time_s" Obs_json.to_number j ~ctx in
+  let* counters =
+    match Obs_json.member "counters" j with
+    | Some (Obs_json.Obj fields) ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | (name, v) :: rest -> (
+              match Obs_json.to_number v with
+              | Some x -> conv ((name, x) :: acc) rest
+              | None ->
+                  Error (Printf.sprintf "%s: counter %S is not a number" ctx name))
+        in
+        conv [] fields
+    | _ -> Error (ctx ^ ": missing counters object")
+  in
+  Ok { ev_id = id; ev_wall = wall; ev_counters = counters }
+
+let view_report j ~ctx =
+  let* schema = field "schema" Obs_json.to_str j ~ctx in
+  if schema <> "ftspan.metrics.v1" then
+    Error (Printf.sprintf "%s: unexpected schema %S" ctx schema)
+  else
+    let* entries = field "entries" Obs_json.to_list j ~ctx in
+    let rec conv acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest ->
+          let* v = view_entry e in
+          conv (v :: acc) rest
+    in
+    conv [] entries
+
+(* --------------------------- comparison ----------------------------- *)
+
+let judge ~base ~limit ~run =
+  if run > limit then Regression else if run < base then Improved else Within
+
+let compare_entry tol (b : entry_view) (r : entry_view) =
+  let wall_limit = (b.ev_wall *. (1. +. tol.wall_rel)) +. tol.wall_abs in
+  let wall =
+    {
+      entry = b.ev_id;
+      metric = "wall_time_s";
+      base_v = Some b.ev_wall;
+      run_v = Some r.ev_wall;
+      limit = wall_limit;
+      verdict = judge ~base:b.ev_wall ~limit:wall_limit ~run:r.ev_wall;
+    }
+  in
+  let counters =
+    List.map
+      (fun (name, bv) ->
+        match List.assoc_opt name r.ev_counters with
+        | None ->
+            {
+              entry = b.ev_id; metric = name; base_v = Some bv; run_v = None;
+              limit = nan; verdict = Missing;
+            }
+        | Some rv ->
+            let limit = bv *. (1. +. tol.counter_rel) in
+            {
+              entry = b.ev_id; metric = name; base_v = Some bv;
+              run_v = Some rv; limit;
+              verdict = judge ~base:bv ~limit ~run:rv;
+            })
+      b.ev_counters
+  in
+  let fresh =
+    List.filter_map
+      (fun (name, rv) ->
+        if List.mem_assoc name b.ev_counters then None
+        else
+          Some
+            {
+              entry = b.ev_id; metric = name; base_v = None; run_v = Some rv;
+              limit = nan; verdict = New;
+            })
+      r.ev_counters
+  in
+  (wall :: counters) @ fresh
+
+let compare_reports ?(tol = default_tolerances) base run =
+  let* base = view_report base ~ctx:"baseline" in
+  let* run = view_report run ~ctx:"run" in
+  let of_base b =
+    match List.find_opt (fun r -> r.ev_id = b.ev_id) run with
+    | None ->
+        [
+          {
+            entry = b.ev_id; metric = "(entry)"; base_v = Some b.ev_wall;
+            run_v = None; limit = nan; verdict = Missing;
+          };
+        ]
+    | Some r -> compare_entry tol b r
+  in
+  let fresh =
+    List.filter_map
+      (fun r ->
+        if List.exists (fun b -> b.ev_id = r.ev_id) base then None
+        else
+          Some
+            {
+              entry = r.ev_id; metric = "(entry)"; base_v = None;
+              run_v = Some r.ev_wall; limit = nan; verdict = New;
+            })
+      run
+  in
+  Ok (List.concat_map of_base base @ fresh)
+
+let regressed =
+  List.exists (fun f ->
+      match f.verdict with Regression | Missing -> true | _ -> false)
+
+(* ----------------------------- printing ----------------------------- *)
+
+let verdict_label = function
+  | Within -> "within"
+  | Improved -> "improved"
+  | Regression -> "REGRESSION"
+  | Missing -> "MISSING"
+  | New -> "new"
+
+let pp_value ppf = function
+  | None -> Format.fprintf ppf "%12s" "-"
+  | Some v ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Format.fprintf ppf "%12.0f" v
+      else Format.fprintf ppf "%12.4f" v
+
+let pp_findings ppf findings =
+  Format.fprintf ppf "@[<v>%-18s %-34s %12s %12s %12s  %s@,"
+    "entry" "metric" "baseline" "run" "limit" "verdict";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%-18s %-34s %a %a %a  %s@," f.entry f.metric
+        pp_value f.base_v pp_value f.run_v
+        pp_value (if Float.is_nan f.limit then None else Some f.limit)
+        (verdict_label f.verdict))
+    findings;
+  let count v =
+    List.length
+      (List.filter (fun f -> f.verdict = v) findings)
+  in
+  Format.fprintf ppf
+    "@,%d metrics: %d within, %d improved, %d new, %d regression(s), %d missing@]"
+    (List.length findings) (count Within) (count Improved) (count New)
+    (count Regression) (count Missing)

@@ -1,0 +1,56 @@
+(** Regression comparison of two [ftspan.metrics.v1] reports (see
+    {!Obs_sink}): a checked-in baseline against a fresh run.
+
+    Entries are matched by id, then the wall time and every counter are
+    judged against per-metric tolerances.  Counters are deterministic
+    given the repo's fixed seeds, so their tolerance is tight; wall
+    times vary across machines, so theirs is loose and carries an
+    absolute floor (sub-noise timings never fail).  Improvements never
+    fail — the gate is one-sided.
+
+    [bench/compare.exe] is the CLI over this module; the [@bench-compare]
+    and [@obs-check] dune aliases run it against [BENCH_BASELINE.json]. *)
+
+type verdict =
+  | Within  (** inside tolerance *)
+  | Improved  (** strictly below the baseline — never a failure *)
+  | Regression  (** above the allowed limit *)
+  | Missing  (** present in the baseline, absent from the run *)
+  | New  (** absent from the baseline — informational only *)
+
+type finding = {
+  entry : string;  (** report entry id, e.g. ["smoke-lbc"] *)
+  metric : string;  (** ["wall_time_s"], a counter name, or ["(entry)"] *)
+  base_v : float option;
+  run_v : float option;
+  limit : float;  (** max allowed run value ([nan] when not applicable) *)
+  verdict : verdict;
+}
+
+type tolerances = {
+  wall_rel : float;  (** allowed relative increase of [wall_time_s] *)
+  wall_abs : float;  (** absolute wall slack in seconds, added on top *)
+  counter_rel : float;  (** allowed relative increase of any counter *)
+}
+
+(** Tight on counters (deterministic), loose on wall time:
+    [{ wall_rel = 1.5; wall_abs = 0.25; counter_rel = 0.25 }]. *)
+val default_tolerances : tolerances
+
+(** [scale s t] multiplies every slack in [t] by [s] (the [--slack]
+    flag; [@obs-check] uses [scale 2.]). *)
+val scale : float -> tolerances -> tolerances
+
+(** [compare_reports ?tol base run] matches the two documents (baseline
+    first) and returns one finding per compared metric, grouped by
+    entry.  [Error] on a malformed document or a schema tag other than
+    [ftspan.metrics.v1]. *)
+val compare_reports :
+  ?tol:tolerances -> Obs_json.t -> Obs_json.t -> (finding list, string) result
+
+(** [regressed fs] is true iff any finding is a {!Regression} or
+    {!Missing} — the gate's exit condition. *)
+val regressed : finding list -> bool
+
+(** [pp_findings ppf fs] renders the delta table. *)
+val pp_findings : Format.formatter -> finding list -> unit

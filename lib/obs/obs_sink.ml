@@ -110,7 +110,7 @@ let json_of_entry e =
         :: fields)
   | _ -> assert false
 
-let json_of_report ~created entries =
+let json_of_report ?(created = Unix.time ()) entries =
   Obs_json.Obj
     [
       ("schema", Obs_json.String "ftspan.metrics.v1");
@@ -118,8 +118,8 @@ let json_of_report ~created entries =
       ("entries", Obs_json.List (List.map json_of_entry entries));
     ]
 
-let write_report ~created ~file entries =
+let write_report ?created ~file entries =
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Obs_json.to_channel oc (json_of_report ~created entries))
+    (fun () -> Obs_json.to_channel oc (json_of_report ?created entries))

@@ -35,10 +35,13 @@ val pp : Format.formatter -> Obs.snapshot -> unit
     "spans"] sub-object of the schema above. *)
 val json_of_snapshot : Obs.snapshot -> Obs_json.t
 
-(** [json_of_report ~created entries] is a full [ftspan.metrics.v1]
-    document; [created] is seconds since the epoch. *)
-val json_of_report : created:float -> entry list -> Obs_json.t
+(** [json_of_report ?created entries] is a full [ftspan.metrics.v1]
+    document; [created] is seconds since the epoch and defaults to
+    [Unix.time ()] — the one timestamp source every producer (CLI,
+    bench) shares, so reports are identically shaped no matter who
+    emits them. *)
+val json_of_report : ?created:float -> entry list -> Obs_json.t
 
-(** [write_report ~created ~file entries] writes the indented JSON
+(** [write_report ?created ~file entries] writes the indented JSON
     document to [file]. *)
-val write_report : created:float -> file:string -> entry list -> unit
+val write_report : ?created:float -> file:string -> entry list -> unit

@@ -1,0 +1,247 @@
+type payload =
+  | Span_begin of string
+  | Span_end of string
+  | Lbc_begin of { edge : int; u : int; v : int; t : int; alpha : int }
+  | Lbc_end of { edge : int; yes : bool; bfs_rounds : int; cut_size : int }
+  | Greedy_edge of { edge : int; kept : bool; weight : float }
+  | Congest_round of { round : int; messages : int; bits : int }
+  | Cluster_stats of { partition : int; clusters : int; max_depth : int }
+  | Phase of { name : string; index : int }
+  | Counter_sample of { name : string; value : int }
+  | Mark of string
+
+type event = { seq : int; ts_s : float; payload : payload }
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+let default_capacity = 1 lsl 16
+
+(* Ring state, guarded by [lock] (multi-domain producers: the parallel
+   batched greedy emits from worker domains). *)
+let lock = Mutex.create ()
+let placeholder = { seq = -1; ts_s = 0.; payload = Mark "" }
+let buf = ref (Array.make 0 placeholder)
+let seen_count = ref 0
+let origin = ref 0.
+let sink : (event -> unit) option ref = ref None
+
+let emit payload =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock lock;
+    let ev = { seq = !seen_count; ts_s = Obs.now_s () -. !origin; payload } in
+    let cap = Array.length !buf in
+    if cap > 0 then !buf.(ev.seq mod cap) <- ev;
+    seen_count := ev.seq + 1;
+    let consumer = !sink in
+    Mutex.unlock lock;
+    match consumer with Some f -> f ev | None -> ()
+  end
+
+let span_hook phase name =
+  emit (match phase with `Begin -> Span_begin name | `End -> Span_end name)
+
+let start ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Obs_trace.start: capacity must be >= 1";
+  Mutex.lock lock;
+  buf := Array.make capacity placeholder;
+  seen_count := 0;
+  origin := Obs.now_s ();
+  Mutex.unlock lock;
+  Obs.set_span_hook (Some span_hook);
+  Atomic.set enabled_flag true
+
+let stop () =
+  Atomic.set enabled_flag false;
+  Obs.set_span_hook None
+
+let set_sink s =
+  Mutex.lock lock;
+  sink := s;
+  Mutex.unlock lock
+
+let seen () = !seen_count
+let retained () = min !seen_count (Array.length !buf)
+let dropped () = !seen_count - retained ()
+
+let events () =
+  Mutex.lock lock;
+  let cap = Array.length !buf in
+  let kept = retained () in
+  let first = !seen_count - kept in
+  let out = List.init kept (fun i -> !buf.((first + i) mod cap)) in
+  Mutex.unlock lock;
+  out
+
+(* ------------------------------ export ------------------------------ *)
+
+type format = Native | Chrome
+
+let parse_spec s =
+  if s = "" then None
+  else
+    match String.rindex_opt s ',' with
+    | Some i when i > 0 -> (
+        let file = String.sub s 0 i in
+        match String.sub s (i + 1) (String.length s - i - 1) with
+        | "chrome" -> Some (file, Chrome)
+        | "native" -> Some (file, Native)
+        | _ -> Some (s, Native) (* a comma in the file name, not a format *))
+    | _ -> Some (s, Native)
+
+let pp_spec ppf (file, fmt) =
+  Format.fprintf ppf "%s%s" file (match fmt with Native -> "" | Chrome -> ",chrome")
+
+let json_of_payload p =
+  let open Obs_json in
+  match p with
+  | Span_begin name -> [ ("type", String "span_begin"); ("name", String name) ]
+  | Span_end name -> [ ("type", String "span_end"); ("name", String name) ]
+  | Lbc_begin { edge; u; v; t; alpha } ->
+      [
+        ("type", String "lbc_begin"); ("edge", Int edge); ("u", Int u);
+        ("v", Int v); ("t", Int t); ("alpha", Int alpha);
+      ]
+  | Lbc_end { edge; yes; bfs_rounds; cut_size } ->
+      [
+        ("type", String "lbc_end"); ("edge", Int edge);
+        ("verdict", String (if yes then "yes" else "no"));
+        ("bfs_rounds", Int bfs_rounds); ("cut_size", Int cut_size);
+      ]
+  | Greedy_edge { edge; kept; weight } ->
+      [
+        ("type", String "greedy_edge"); ("edge", Int edge);
+        ("kept", Bool kept); ("weight", Float weight);
+      ]
+  | Congest_round { round; messages; bits } ->
+      [
+        ("type", String "congest_round"); ("round", Int round);
+        ("messages", Int messages); ("bits", Int bits);
+      ]
+  | Cluster_stats { partition; clusters; max_depth } ->
+      [
+        ("type", String "cluster_stats"); ("partition", Int partition);
+        ("clusters", Int clusters); ("max_depth", Int max_depth);
+      ]
+  | Phase { name; index } ->
+      [ ("type", String "phase"); ("name", String name); ("index", Int index) ]
+  | Counter_sample { name; value } ->
+      [ ("type", String "counter"); ("name", String name); ("value", Int value) ]
+  | Mark name -> [ ("type", String "mark"); ("name", String name) ]
+
+let to_json () =
+  let open Obs_json in
+  Obj
+    [
+      ("schema", String "ftspan.trace.v1");
+      ("created_unix", Float (Unix.time ()));
+      ("seen", Int (seen ()));
+      ("dropped", Int (dropped ()));
+      ( "events",
+        List
+          (List.map
+             (fun ev ->
+               Obj
+                 (("seq", Int ev.seq)
+                 :: ("ts_s", Float ev.ts_s)
+                 :: json_of_payload ev.payload))
+             (events ())) );
+    ]
+
+(* Chrome trace-event format: every record carries name/ph/ts/pid/tid
+   (the invariant chrome://tracing and Perfetto importers rely on); ts is
+   in microseconds.  One synthetic process, one thread. *)
+let chrome_event ?(args = []) ~name ~ph ~ts_s extra =
+  let open Obs_json in
+  Obj
+    (("name", String name)
+    :: ("ph", String ph)
+    :: ("ts", Float (ts_s *. 1e6))
+    :: ("pid", Int 1)
+    :: ("tid", Int 1)
+    :: (extra @ (if args = [] then [] else [ ("args", Obj args) ])))
+
+let to_chrome () =
+  let open Obs_json in
+  let instant ?args ~name ts_s =
+    chrome_event ?args ~name ~ph:"i" ~ts_s [ ("s", String "t") ]
+  in
+  let counter ~name ts_s args = chrome_event ~args ~name ~ph:"C" ~ts_s [] in
+  (* [depth] balances B/E across the retained window: an End whose Begin
+     was overwritten by the ring would otherwise unbalance the stack the
+     importer reconstructs. *)
+  let depth = ref 0 in
+  let convert ev =
+    let ts_s = ev.ts_s in
+    match ev.payload with
+    | Span_begin name ->
+        incr depth;
+        Some (chrome_event ~name ~ph:"B" ~ts_s [])
+    | Span_end name ->
+        if !depth = 0 then None
+        else begin
+          decr depth;
+          Some (chrome_event ~name ~ph:"E" ~ts_s [])
+        end
+    | Lbc_begin { edge; u; v; t; alpha } ->
+        incr depth;
+        Some
+          (chrome_event ~name:"lbc.decide" ~ph:"B" ~ts_s
+             ~args:
+               [
+                 ("edge", Int edge); ("u", Int u); ("v", Int v);
+                 ("t", Int t); ("alpha", Int alpha);
+               ]
+             [])
+    | Lbc_end { edge; yes; bfs_rounds; cut_size } ->
+        if !depth = 0 then None
+        else begin
+          decr depth;
+          Some
+            (chrome_event ~name:"lbc.decide" ~ph:"E" ~ts_s
+               ~args:
+                 [
+                   ("edge", Int edge);
+                   ("verdict", String (if yes then "yes" else "no"));
+                   ("bfs_rounds", Int bfs_rounds); ("cut_size", Int cut_size);
+                 ]
+               [])
+        end
+    | Greedy_edge { edge; kept; weight } ->
+        Some
+          (instant
+             ~name:(if kept then "greedy.keep" else "greedy.reject")
+             ~args:[ ("edge", Int edge); ("weight", Float weight) ]
+             ts_s)
+    | Congest_round { round; messages; bits } ->
+        Some
+          (counter ~name:"net.traffic" ts_s
+             [ ("round", Int round); ("messages", Int messages); ("bits", Int bits) ])
+    | Cluster_stats { partition; clusters; max_depth } ->
+        Some
+          (instant ~name:"decomposition.partition"
+             ~args:
+               [
+                 ("partition", Int partition); ("clusters", Int clusters);
+                 ("max_depth", Int max_depth);
+               ]
+             ts_s)
+    | Phase { name; index } ->
+        Some (instant ~name ~args:[ ("index", Int index) ] ts_s)
+    | Counter_sample { name; value } ->
+        Some (counter ~name ts_s [ ("value", Int value) ])
+    | Mark name -> Some (instant ~name ts_s)
+  in
+  let meta =
+    chrome_event ~name:"process_name" ~ph:"M" ~ts_s:0.
+      ~args:[ ("name", String "ftspan") ]
+      []
+  in
+  List (meta :: List.filter_map convert (events ()))
+
+let write ~file fmt =
+  let doc = match fmt with Native -> to_json () | Chrome -> to_chrome () in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Obs_json.to_channel oc doc)

@@ -1,0 +1,127 @@
+(** Streaming structured-event trace: the time-ordered complement to the
+    aggregates of {!Obs}.
+
+    Counters and histograms answer "how much in total"; the questions the
+    paper's per-edge analysis turns on — how Algorithm 3's per-edge
+    [LBC(2k-1, f)] verdicts and BFS-round counts evolve over the edge
+    stream, how CONGEST rounds and message bits accrue over time — need
+    the individual decisions in order.  This module records typed,
+    timestamped events into a bounded ring buffer.  When the buffer
+    overflows, the oldest events are overwritten and the loss is
+    accounted ({!dropped}), so tracing a long run degrades gracefully
+    instead of exhausting memory.
+
+    Tracing is {e off by default} and one-branch-cheap when disabled:
+    instrumented sites guard both the event allocation and the {!emit}
+    call behind [if Obs_trace.enabled () then ...].  While enabled, emits
+    are serialized by a mutex, so multi-domain producers (the parallel
+    batched greedy) interleave safely.
+
+    Two export formats:
+    - the native [ftspan.trace.v1] JSON document ({!to_json}), a flat
+      array of typed event records; and
+    - the Chrome trace-event format ({!to_chrome}), loadable in
+      [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}: spans
+      and LBC calls become duration ([B]/[E]) events, network traffic
+      becomes counter ([C]) tracks, per-edge verdicts become instant
+      events.
+
+    Span boundaries are captured automatically: {!start} installs an
+    {!Obs.set_span_hook} observer, so every {!Obs.with_span} taken while
+    tracing (and while {!Obs.enabled}) lands in the event log too. *)
+
+(** One event payload.  Integer ids refer to the {e source} graph's edge
+    numbering ([-1] when the caller had no id to attach). *)
+type payload =
+  | Span_begin of string  (** an {!Obs.with_span} scope opened *)
+  | Span_end of string  (** ... and closed (exceptions included) *)
+  | Lbc_begin of { edge : int; u : int; v : int; t : int; alpha : int }
+      (** {!Lbc.decide} entered for candidate edge [edge] = [{u,v}] *)
+  | Lbc_end of { edge : int; yes : bool; bfs_rounds : int; cut_size : int }
+      (** ... and returned: verdict, BFS rounds spent, certificate size
+          (0 on [No]) *)
+  | Greedy_edge of { edge : int; kept : bool; weight : float }
+      (** a greedy (poly/exp/batch) committed or rejected an edge *)
+  | Congest_round of { round : int; messages : int; bits : int }
+      (** one simulator round completed, with that round's traffic *)
+  | Cluster_stats of { partition : int; clusters : int; max_depth : int }
+      (** one partition of a padded decomposition converged *)
+  | Phase of { name : string; index : int }
+      (** a numbered algorithm phase boundary (DK11 iteration, greedy
+          batch) *)
+  | Counter_sample of { name : string; value : int }
+      (** a point-in-time sample of a named counter (a Chrome counter
+          track) *)
+  | Mark of string  (** a free-form instant *)
+
+type event = {
+  seq : int;  (** 0-based global emission index (survives ring overflow) *)
+  ts_s : float;  (** seconds since {!start} *)
+  payload : payload;
+}
+
+(** [enabled ()] is [false] until {!start} and after {!stop}. *)
+val enabled : unit -> bool
+
+(** [start ?capacity ()] clears the buffer, re-arms the clock, installs
+    the {!Obs} span hook and enables collection.  [capacity] (default
+    [65536]) bounds the number of retained events; raises
+    [Invalid_argument] if it is [< 1]. *)
+val start : ?capacity:int -> unit -> unit
+
+(** [stop ()] disables collection and removes the span hook.  The buffer
+    is retained for export. *)
+val stop : unit -> unit
+
+(** [emit p] records [p] now.  A no-op while disabled — but hot paths
+    should still test {!enabled} first so the payload is never
+    allocated. *)
+val emit : payload -> unit
+
+(** [set_sink s] installs a streaming consumer called with every event as
+    it is emitted (after it is stored; outside the buffer lock).  Sinks
+    must not call {!emit}.  [None] removes it. *)
+val set_sink : (event -> unit) option -> unit
+
+(** [events ()] lists the retained events, oldest first.  After an
+    overflow this is the {e suffix} of the stream: [List.length] is
+    [min (seen ()) capacity] and the first [seq] is [dropped ()]. *)
+val events : unit -> event list
+
+(** [seen ()] counts every event emitted since {!start}. *)
+val seen : unit -> int
+
+(** [dropped ()] counts events lost to ring overflow
+    ([seen () - retained]). *)
+val dropped : unit -> int
+
+(** {1 Export} *)
+
+type format = Native | Chrome
+
+(** [parse_spec s] parses the CLI's [FILE[,chrome]] syntax: a trailing
+    [,chrome] (or [,native]) selects the format, anything else is a plain
+    file name traced natively. *)
+val parse_spec : string -> (string * format) option
+
+(** [pp_spec ppf (file, fmt)] prints the spec back in [FILE[,chrome]]
+    form. *)
+val pp_spec : Format.formatter -> string * format -> unit
+
+(** [to_json ()] is the native document:
+    {v
+    { "schema": "ftspan.trace.v1",
+      "created_unix": ..., "seen": n, "dropped": d,
+      "events": [ { "seq": 0, "ts_s": 0.0012, "type": "lbc_begin",
+                    "edge": 17, "u": 3, "v": 9, "t": 3, "alpha": 2 }, ... ] }
+    v} *)
+val to_json : unit -> Obs_json.t
+
+(** [to_chrome ()] is a Chrome trace-event array: every element carries
+    ["name"]/["ph"]/["ts"] (microseconds)/["pid"]/["tid"].  End events
+    whose opening was lost to ring overflow are elided so the [B]/[E]
+    nesting Perfetto reconstructs stays balanced. *)
+val to_chrome : unit -> Obs_json.t
+
+(** [write ~file fmt] writes the chosen export as indented JSON. *)
+val write : file:string -> format -> unit

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # End-to-end integration test of the ftspan CLI: every subcommand, plus
 # failure-path checks.  Run by dune as part of @runtest with the freshly
-# built binary as $1.
+# built binaries: $1 = ftspan CLI, $2 = bench/main.exe, $3 =
+# bench/compare.exe, $4 = the checked-in BENCH_BASELINE.json.
 set -u
 BIN="$1"
+BENCH="$2"
+COMPARE="$3"
+BASELINE="$4"
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 fail() { echo "cli_test FAILED: $1" >&2; exit 1; }
@@ -75,6 +79,46 @@ grep -q '"lbc.bfs_rounds"' "$TMP/metrics.json" || fail "metrics json bfs rounds"
 grep -q '"wall_time_s"' "$TMP/metrics.json" || fail "metrics json wall time"
 "$BIN" local -k 2 -f 1 --metrics=json "$TMP/s.graph" | grep -q '"net.messages"' \
   || fail "local --metrics=json must report net counters"
+
+# event trace: native export carries the schema tag and per-edge LBC events
+"$BIN" build -k 2 -f 1 "$TMP/s.graph" --trace "$TMP/t.json" \
+  | grep -q "trace written" || fail "build --trace must report the file"
+grep -q '"schema": "ftspan.trace.v1"' "$TMP/t.json" || fail "trace schema tag"
+grep -q '"lbc_begin"' "$TMP/t.json" || fail "trace must contain lbc_begin events"
+grep -q '"greedy_edge"' "$TMP/t.json" || fail "trace must contain greedy_edge events"
+
+# ... and the chrome flavour is an event array with the required keys
+"$BIN" build -k 2 -f 1 "$TMP/s.graph" --trace "$TMP/t-chrome.json,chrome" \
+  >/dev/null || fail "build --trace FILE,chrome"
+grep -q '"ph"' "$TMP/t-chrome.json" || fail "chrome trace ph key"
+grep -q '"pid"' "$TMP/t-chrome.json" || fail "chrome trace pid key"
+grep -q '"tid"' "$TMP/t-chrome.json" || fail "chrome trace tid key"
+
+# congest runs trace per-round message traffic
+"$BIN" congest -k 2 -f 1 -c 0.5 "$TMP/s.graph" --trace "$TMP/t-congest.json" \
+  >/dev/null || fail "congest --trace"
+grep -q '"congest_round"' "$TMP/t-congest.json" \
+  || fail "congest trace must contain congest_round events"
+
+# bench: a filter matching nothing must still write a valid empty report
+"$BENCH" --json "$TMP/bench-empty.json" --match no-such-job \
+  | grep -q "no jobs selected" || fail "bench empty-selection notice"
+grep -q '"schema": "ftspan.metrics.v1"' "$TMP/bench-empty.json" \
+  || fail "empty bench report schema tag"
+grep -q '"entries": \[\]' "$TMP/bench-empty.json" \
+  || fail "empty bench report must have an empty entries array"
+
+# bench regression gate: a fresh smoke run passes against the checked-in
+# baseline (generous slack: counters are deterministic, wall time is not)...
+"$BENCH" --smoke --json "$TMP/bench-run.json" >/dev/null || fail "bench --smoke"
+"$COMPARE" --slack 2 "$BASELINE" "$TMP/bench-run.json" >/dev/null \
+  || fail "compare must accept an in-tolerance smoke run"
+# ... and an artificially inflated counter trips it
+sed 's/"lbc.calls": [0-9]*/"lbc.calls": 999999999/' "$TMP/bench-run.json" \
+  > "$TMP/bench-inflated.json"
+if "$COMPARE" --slack 2 "$BASELINE" "$TMP/bench-inflated.json" >/dev/null; then
+  fail "compare must reject an inflated counter"
+fi
 
 # failure paths: unknown family, bad file, bad algo
 "$BIN" generate --family nope -n 5 -o "$TMP/x" >/dev/null 2>&1 && fail "bad family accepted"

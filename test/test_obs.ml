@@ -1,7 +1,9 @@
 (* Tests for the telemetry layer (lib/obs): metric semantics, the master
    switch, span nesting, snapshot/reset scoping, the JSON sink round-trip
-   through Obs_json.of_string, and agreement between the obs registry and
-   the counters Poly_greedy.build_traced derives from it. *)
+   through Obs_json.of_string, agreement between the obs registry and the
+   counters Poly_greedy.build_traced derives from it, the structured
+   event trace (ordering, ring-buffer overflow accounting, Chrome
+   export), and the Obs_compare regression verdicts. *)
 
 let check = Alcotest.check
 let checki = check Alcotest.int
@@ -271,6 +273,259 @@ let test_trace_zero_when_disabled () =
   checki "rounds zero when disabled" 0 trace.Poly_greedy.bfs_rounds;
   checki "yes zero when disabled" 0 trace.Poly_greedy.yes_answers
 
+(* ------------------------- event trace -------------------------------- *)
+
+(* Tracing is process-global; every trace test tears it down so later
+   tests (and the registry tests above) see it disabled again. *)
+let with_tracing ?capacity f =
+  Obs_trace.start ?capacity ();
+  Fun.protect ~finally:Obs_trace.stop f
+
+let test_trace_ordering () =
+  fresh ();
+  with_tracing (fun () ->
+      Obs_trace.emit (Obs_trace.Mark "first");
+      Obs_trace.emit
+        (Obs_trace.Lbc_begin { edge = 7; u = 1; v = 2; t = 3; alpha = 2 });
+      Obs_trace.emit
+        (Obs_trace.Lbc_end { edge = 7; yes = true; bfs_rounds = 3; cut_size = 2 });
+      Obs_trace.emit (Obs_trace.Mark "last"));
+  let evs = Obs_trace.events () in
+  checki "all retained" 4 (List.length evs);
+  checki "nothing dropped" 0 (Obs_trace.dropped ());
+  List.iteri
+    (fun i ev -> checki "seq is the emission index" i ev.Obs_trace.seq)
+    evs;
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) ->
+        a.Obs_trace.ts_s <= b.Obs_trace.ts_s && nondecreasing rest
+    | _ -> true
+  in
+  checkb "timestamps non-decreasing" true (nondecreasing evs);
+  (match (List.hd evs).Obs_trace.payload with
+  | Obs_trace.Mark "first" -> ()
+  | _ -> Alcotest.fail "first event not first");
+  match (List.nth evs 2).Obs_trace.payload with
+  | Obs_trace.Lbc_end { edge = 7; yes = true; bfs_rounds = 3; cut_size = 2 } -> ()
+  | _ -> Alcotest.fail "payload fields lost"
+
+let test_trace_ring_overflow () =
+  fresh ();
+  with_tracing ~capacity:4 (fun () ->
+      for i = 0 to 9 do
+        Obs_trace.emit (Obs_trace.Phase { name = "tick"; index = i })
+      done);
+  checki "all emissions counted" 10 (Obs_trace.seen ());
+  checki "overflow accounted" 6 (Obs_trace.dropped ());
+  let evs = Obs_trace.events () in
+  checki "capacity retained" 4 (List.length evs);
+  (* the retained window is the newest suffix, in order *)
+  List.iteri
+    (fun i ev -> checki "suffix seq" (6 + i) ev.Obs_trace.seq)
+    evs
+
+let test_trace_disabled_noop () =
+  fresh ();
+  with_tracing (fun () -> Obs_trace.emit (Obs_trace.Mark "kept"));
+  checkb "disabled after stop" false (Obs_trace.enabled ());
+  Obs_trace.emit (Obs_trace.Mark "after stop");
+  checki "emit after stop ignored" 1 (Obs_trace.seen ())
+
+let test_trace_span_hook () =
+  fresh ();
+  with_tracing (fun () -> Obs.with_span "hooked" (fun () -> ()));
+  let names =
+    List.filter_map
+      (fun ev ->
+        match ev.Obs_trace.payload with
+        | Obs_trace.Span_begin n -> Some (`B, n)
+        | Obs_trace.Span_end n -> Some (`E, n)
+        | _ -> None)
+      (Obs_trace.events ())
+  in
+  checkb "with_span recorded begin+end" true
+    (names = [ (`B, "hooked"); (`E, "hooked") ]);
+  (* the hook is gone after stop: spans no longer emit *)
+  Obs.with_span "unhooked" (fun () -> ());
+  checki "no events after stop" 2 (Obs_trace.seen ())
+
+let test_trace_sink_streams () =
+  fresh ();
+  let streamed = ref [] in
+  with_tracing (fun () ->
+      Obs_trace.set_sink (Some (fun ev -> streamed := ev.Obs_trace.seq :: !streamed));
+      Obs_trace.emit (Obs_trace.Mark "a");
+      Obs_trace.emit (Obs_trace.Mark "b");
+      Obs_trace.set_sink None;
+      Obs_trace.emit (Obs_trace.Mark "c"));
+  checkb "sink saw exactly the events while installed" true
+    (List.rev !streamed = [ 0; 1 ])
+
+let test_chrome_wellformed () =
+  fresh ();
+  with_tracing (fun () ->
+      Obs.with_span "outer" (fun () ->
+          Obs_trace.emit
+            (Obs_trace.Lbc_begin { edge = 3; u = 0; v = 1; t = 3; alpha = 1 });
+          Obs_trace.emit
+            (Obs_trace.Lbc_end
+               { edge = 3; yes = false; bfs_rounds = 2; cut_size = 0 });
+          Obs_trace.emit
+            (Obs_trace.Greedy_edge { edge = 3; kept = false; weight = 1.0 });
+          Obs_trace.emit
+            (Obs_trace.Congest_round { round = 1; messages = 8; bits = 512 })));
+  let text = Obs_json.to_string ~indent:true (Obs_trace.to_chrome ()) in
+  let parsed =
+    match Obs_json.of_string text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "chrome trace unparseable: %s" e
+  in
+  let evs = get_exn "top-level array" (Obs_json.to_list parsed) in
+  checkb "non-empty" true (List.length evs > 0);
+  (* the invariant the chrome://tracing importer needs: every element is
+     an object carrying name/ph/ts/pid/tid *)
+  List.iter
+    (fun e ->
+      ignore (get_exn "name" (Obs_json.to_str (member [ "name" ] e)));
+      ignore (get_exn "ph" (Obs_json.to_str (member [ "ph" ] e)));
+      ignore (get_exn "ts" (Obs_json.to_number (member [ "ts" ] e)));
+      ignore (get_exn "pid" (Obs_json.to_int (member [ "pid" ] e)));
+      ignore (get_exn "tid" (Obs_json.to_int (member [ "tid" ] e))))
+    evs;
+  let phs =
+    List.filter_map (fun e -> Obs_json.to_str (member [ "ph" ] e)) evs
+  in
+  let count ph = List.length (List.filter (( = ) ph) phs) in
+  checki "balanced duration events" (count "B") (count "E");
+  checkb "counter track present" true (count "C" > 0);
+  checkb "instant event present" true (count "i" > 0)
+
+let test_chrome_unmatched_end_elided () =
+  fresh ();
+  (* capacity 2: the Begin is overwritten, only Span_end + Mark survive *)
+  with_tracing ~capacity:2 (fun () ->
+      Obs_trace.emit (Obs_trace.Span_begin "lost");
+      Obs_trace.emit (Obs_trace.Span_end "lost");
+      Obs_trace.emit (Obs_trace.Mark "tail"));
+  let evs =
+    get_exn "array" (Obs_json.to_list (Obs_trace.to_chrome ()))
+  in
+  checkb "orphan E elided" true
+    (List.for_all
+       (fun e -> Obs_json.to_str (member [ "ph" ] e) <> Some "E")
+       evs)
+
+let test_native_trace_roundtrip () =
+  fresh ();
+  with_tracing (fun () ->
+      Obs_trace.emit
+        (Obs_trace.Cluster_stats { partition = 0; clusters = 5; max_depth = 2 }));
+  let text = Obs_json.to_string ~indent:true (Obs_trace.to_json ()) in
+  let parsed =
+    match Obs_json.of_string text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "native trace unparseable: %s" e
+  in
+  checks "schema" "ftspan.trace.v1"
+    (get_exn "schema" (Obs_json.to_str (member [ "schema" ] parsed)));
+  checki "dropped field" 0
+    (get_exn "dropped" (Obs_json.to_int (member [ "dropped" ] parsed)));
+  let evs = get_exn "events" (Obs_json.to_list (member [ "events" ] parsed)) in
+  checki "one event" 1 (List.length evs);
+  checks "typed record" "cluster_stats"
+    (get_exn "type" (Obs_json.to_str (member [ "type" ] (List.hd evs))))
+
+(* --------------------------- compare ---------------------------------- *)
+
+let report entries =
+  Obs_json.Obj
+    [
+      ("schema", Obs_json.String "ftspan.metrics.v1");
+      ("created_unix", Obs_json.Float 0.);
+      ("entries", Obs_json.List entries);
+    ]
+
+let entry id wall counters =
+  Obs_json.Obj
+    [
+      ("id", Obs_json.String id);
+      ("wall_time_s", Obs_json.Float wall);
+      ( "counters",
+        Obs_json.Obj (List.map (fun (n, v) -> (n, Obs_json.Int v)) counters) );
+      ("timers", Obs_json.Obj []);
+      ("histograms", Obs_json.Obj []);
+      ("spans", Obs_json.List []);
+    ]
+
+let run_compare base run =
+  match Obs_compare.compare_reports base run with
+  | Ok findings -> findings
+  | Error msg -> Alcotest.failf "compare failed: %s" msg
+
+let verdict_of findings metric =
+  match List.find_opt (fun f -> f.Obs_compare.metric = metric) findings with
+  | Some f -> f.Obs_compare.verdict
+  | None -> Alcotest.failf "no finding for %s" metric
+
+let test_compare_within () =
+  let base = report [ entry "e" 1.0 [ ("lbc.calls", 100) ] ] in
+  let run = report [ entry "e" 1.1 [ ("lbc.calls", 110) ] ] in
+  let fs = run_compare base run in
+  checkb "no regression" false (Obs_compare.regressed fs);
+  checkb "wall within" true (verdict_of fs "wall_time_s" = Obs_compare.Within);
+  checkb "counter within" true (verdict_of fs "lbc.calls" = Obs_compare.Within)
+
+let test_compare_regression () =
+  let base = report [ entry "e" 1.0 [ ("lbc.calls", 100) ] ] in
+  (* default counter tolerance is +25%: 126 > 125 regresses *)
+  let run = report [ entry "e" 1.0 [ ("lbc.calls", 126) ] ] in
+  let fs = run_compare base run in
+  checkb "counter regression flagged" true
+    (verdict_of fs "lbc.calls" = Obs_compare.Regression);
+  checkb "gate trips" true (Obs_compare.regressed fs);
+  (* ... and a doubled tolerance lets the same pair through *)
+  let tol = Obs_compare.scale 2. Obs_compare.default_tolerances in
+  match Obs_compare.compare_reports ~tol base run with
+  | Ok fs -> checkb "slack 2 passes" false (Obs_compare.regressed fs)
+  | Error msg -> Alcotest.failf "compare failed: %s" msg
+
+let test_compare_wall_regression () =
+  (* wall tolerance is relative + absolute floor: base*(1+1.5)+0.25 *)
+  let base = report [ entry "e" 1.0 [] ] in
+  let slow = report [ entry "e" 2.75 [] ] in
+  let too_slow = report [ entry "e" 2.76 [] ] in
+  checkb "at the limit passes" false
+    (Obs_compare.regressed (run_compare base slow));
+  checkb "past the limit fails" true
+    (Obs_compare.regressed (run_compare base too_slow))
+
+let test_compare_missing_and_new () =
+  let base = report [ entry "e" 1.0 [ ("old.counter", 5) ] ] in
+  let run = report [ entry "e" 1.0 [ ("new.counter", 7) ] ] in
+  let fs = run_compare base run in
+  checkb "baseline metric gone from run" true
+    (verdict_of fs "old.counter" = Obs_compare.Missing);
+  checkb "missing trips the gate" true (Obs_compare.regressed fs);
+  checkb "metric missing from baseline is informational" true
+    (verdict_of fs "new.counter" = Obs_compare.New);
+  (* a run-only metric alone must not trip the gate *)
+  let base2 = report [ entry "e" 1.0 [] ] in
+  checkb "new metric alone passes" false
+    (Obs_compare.regressed (run_compare base2 run))
+
+let test_compare_missing_entry () =
+  let base = report [ entry "gone" 1.0 [] ] in
+  let run = report [] in
+  let fs = run_compare base run in
+  checkb "missing entry trips the gate" true (Obs_compare.regressed fs);
+  checkb "flagged as entry-level" true
+    (verdict_of fs "(entry)" = Obs_compare.Missing)
+
+let test_compare_bad_schema () =
+  let bad = Obs_json.Obj [ ("schema", Obs_json.String "other.v9") ] in
+  checkb "wrong schema rejected" true
+    (Result.is_error (Obs_compare.compare_reports bad (report [])))
+
 let () =
   Alcotest.run "obs"
     [
@@ -301,5 +556,29 @@ let () =
             test_trace_matches_registry;
           Alcotest.test_case "trace zero when disabled" `Quick
             test_trace_zero_when_disabled;
+        ] );
+      ( "event trace",
+        [
+          Alcotest.test_case "ordering" `Quick test_trace_ordering;
+          Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow;
+          Alcotest.test_case "disabled no-op" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "span hook" `Quick test_trace_span_hook;
+          Alcotest.test_case "streaming sink" `Quick test_trace_sink_streams;
+          Alcotest.test_case "chrome well-formed" `Quick test_chrome_wellformed;
+          Alcotest.test_case "chrome orphan end elided" `Quick
+            test_chrome_unmatched_end_elided;
+          Alcotest.test_case "native round-trip" `Quick
+            test_native_trace_roundtrip;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "within tolerance" `Quick test_compare_within;
+          Alcotest.test_case "counter regression" `Quick test_compare_regression;
+          Alcotest.test_case "wall regression" `Quick
+            test_compare_wall_regression;
+          Alcotest.test_case "missing and new metrics" `Quick
+            test_compare_missing_and_new;
+          Alcotest.test_case "missing entry" `Quick test_compare_missing_entry;
+          Alcotest.test_case "bad schema" `Quick test_compare_bad_schema;
         ] );
     ]

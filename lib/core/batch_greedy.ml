@@ -2,7 +2,8 @@ type result = { selection : Selection.t; batches : int; max_batch : int }
 
 (* [decide_range] judges edges.(lo..hi-1) against the frozen spanner [h],
    writing verdicts into [verdicts]; [h] is not mutated, so concurrent
-   calls on disjoint ranges are race-free. *)
+   calls on disjoint ranges are race-free.  Each call owns a fresh
+   workspace — required when ranges are fanned out over domains. *)
 let decide_range ~mode ~t ~f h edges verdicts lo hi =
   let ws = Lbc.Workspace.create () in
   for i = lo to hi - 1 do
@@ -17,62 +18,36 @@ let decide_range ~mode ~t ~f h edges verdicts lo hi =
 let m_batches = Obs.counter "batch_greedy.batches"
 let m_committed = Obs.counter "batch_greedy.edges_committed"
 
-let build_impl ?(order = Poly_greedy.By_weight) ~decide ~mode ~k ~f ~batch g =
+let build_impl ?order ~decide ~mode ~k ~f ~batch g =
   if batch < 1 then invalid_arg "Batch_greedy.build: batch must be >= 1";
   if k < 1 then invalid_arg "Batch_greedy.build: k must be >= 1";
   if f < 0 then invalid_arg "Batch_greedy.build: f must be >= 0";
-  Obs.with_span "batch_greedy.build" @@ fun () ->
   let t = (2 * k) - 1 in
-  let edges =
-    match order with
-    | Poly_greedy.By_weight ->
-        let a = Graph.edge_array g in
-        Array.sort (fun x y -> compare x.Graph.w y.Graph.w) a;
-        a
-    | Poly_greedy.Input_order -> Graph.edge_array g
-    | Poly_greedy.Reverse_weight ->
-        let a = Graph.edge_array g in
-        Array.sort (fun x y -> compare y.Graph.w x.Graph.w) a;
-        a
-    | Poly_greedy.Shuffled rng ->
-        let a = Graph.edge_array g in
-        Rng.shuffle rng a;
-        a
-    | Poly_greedy.Explicit perm -> Array.map (Graph.edge g) perm
+  (* Adapter from the bool-verdict range deciders (kept as the unit the
+     parallel build fans out over domains) to Engine decisions. *)
+  let verdicts = Array.make (max 1 (Graph.m g)) false in
+  let decide h edges decisions lo hi =
+    Array.fill verdicts lo (hi - lo) false;
+    decide ~mode ~t ~f h edges verdicts lo hi;
+    for i = lo to hi - 1 do
+      if verdicts.(i) then decisions.(i) <- Engine.Keep { cut = [] }
+    done
   in
-  let m = Array.length edges in
-  let h = Graph.create (Graph.n g) in
-  let selected = Array.make (Graph.m g) false in
-  let verdicts = Array.make (max 1 m) false in
-  let batches = ref 0 and max_batch = ref 0 in
-  let pos = ref 0 in
-  while !pos < m do
-    let hi = min m (!pos + batch) in
-    incr batches;
+  let on_batch idx =
     Obs.Counter.incr m_batches;
     if Obs_trace.enabled () then
-      Obs_trace.emit (Obs_trace.Phase { name = "batch_greedy.batch"; index = !batches });
-    if hi - !pos > !max_batch then max_batch := hi - !pos;
-    (* Decision phase: every edge of the batch is judged against the same
-       frozen H. *)
-    decide ~mode ~t ~f h edges verdicts !pos hi;
-    (* Commit phase. *)
-    let tracing = Obs_trace.enabled () in
-    for i = !pos to hi - 1 do
-      let e = edges.(i) in
-      if tracing then
-        Obs_trace.emit
-          (Obs_trace.Greedy_edge
-             { edge = e.Graph.id; kept = verdicts.(i); weight = e.Graph.w });
-      if verdicts.(i) then begin
-        ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
-        selected.(e.Graph.id) <- true;
-        Obs.Counter.incr m_committed
-      end
-    done;
-    pos := hi
-  done;
-  { selection = Selection.of_mask g selected; batches = !batches; max_batch = !max_batch }
+      Obs_trace.emit (Obs_trace.Phase { name = "batch_greedy.batch"; index = idx })
+  in
+  let on_add _ _ = Obs.Counter.incr m_committed in
+  let res =
+    Engine.run ?order ~caller:"Batch_greedy.build" ~span:"batch_greedy.build"
+      ~batch ~on_batch ~on_add ~decide g
+  in
+  {
+    selection = res.Engine.selection;
+    batches = res.Engine.batches;
+    max_batch = res.Engine.max_batch;
+  }
 
 let build ?order ~mode ~k ~f ~batch g =
   build_impl ?order ~decide:decide_range ~mode ~k ~f ~batch g

@@ -1,28 +1,26 @@
 let build ~k g =
   if k < 1 then invalid_arg "Classic_greedy.build: k must be >= 1";
   let stretch = float_of_int ((2 * k) - 1) in
-  let order = Graph.edge_array g in
-  Array.sort (fun a b -> compare a.Graph.w b.Graph.w) order;
-  let h = Graph.create (Graph.n g) in
-  let selected = Array.make (Graph.m g) false in
-  let size = ref 0 in
   let unit_graph = Graph.is_unit_weighted g in
-  let consider e =
-    let u = e.Graph.u and v = e.Graph.v in
-    let spanned =
-      if unit_graph then
-        (* BFS suffices: need a path of at most 2k-1 hops. *)
-        Option.is_some
-          (Bfs.hop_bounded_path h ~src:u ~dst:v ~max_hops:((2 * k) - 1))
-      else
-        Option.is_some
-          (Dijkstra.distance_upto h ~src:u ~dst:v ~cutoff:(stretch *. e.Graph.w))
-    in
-    if not spanned then begin
-      ignore (Graph.add_edge h u v ~w:e.Graph.w);
-      selected.(e.Graph.id) <- true;
-      incr size
-    end
+  let decide h edges decisions lo hi =
+    for i = lo to hi - 1 do
+      let e = edges.(i) in
+      let u = e.Graph.u and v = e.Graph.v in
+      let spanned =
+        if unit_graph then
+          (* BFS suffices: need a path of at most 2k-1 hops. *)
+          Option.is_some
+            (Bfs.hop_bounded_path h ~src:u ~dst:v ~max_hops:((2 * k) - 1))
+        else
+          Option.is_some
+            (Dijkstra.distance_upto h ~src:u ~dst:v
+               ~cutoff:(stretch *. e.Graph.w))
+      in
+      if not spanned then decisions.(i) <- Engine.Keep { cut = [] }
+    done
   in
-  Array.iter consider order;
-  Selection.of_mask g selected
+  (* No span, no trace events: the classic greedy has always been the
+     telemetry-silent baseline, and the bench regression gate compares
+     counter sets across versions. *)
+  let res = Engine.run ~caller:"Classic_greedy" ~trace:false ~decide g in
+  res.Engine.selection

@@ -84,26 +84,20 @@ let exists_fault_set_naive ~mode h ~u ~v ~budget ~f =
 let build_greedy ~decide ~mode ~k ~f g =
   if k < 1 then invalid_arg "Exp_greedy.build: k must be >= 1";
   if f < 0 then invalid_arg "Exp_greedy.build: f must be >= 0";
-  Obs.with_span "exp_greedy.build" @@ fun () ->
   let stretch = float_of_int ((2 * k) - 1) in
-  let order = Graph.edge_array g in
-  Array.sort (fun a b -> compare a.Graph.w b.Graph.w) order;
-  let h = Graph.create (Graph.n g) in
-  let selected = Array.make (Graph.m g) false in
-  let consider e =
-    Obs.Counter.incr m_decisions;
-    let budget = stretch *. e.Graph.w in
-    let kept = decide ~mode h ~u:e.Graph.u ~v:e.Graph.v ~budget ~f in
-    if Obs_trace.enabled () then
-      Obs_trace.emit
-        (Obs_trace.Greedy_edge { edge = e.Graph.id; kept; weight = e.Graph.w });
-    if kept then begin
-      ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
-      selected.(e.Graph.id) <- true
-    end
+  let oracle h edges decisions lo hi =
+    for i = lo to hi - 1 do
+      let e = edges.(i) in
+      Obs.Counter.incr m_decisions;
+      let budget = stretch *. e.Graph.w in
+      if decide ~mode h ~u:e.Graph.u ~v:e.Graph.v ~budget ~f then
+        decisions.(i) <- Engine.Keep { cut = [] }
+    done
   in
-  Array.iter consider order;
-  Selection.of_mask g selected
+  let res =
+    Engine.run ~caller:"Exp_greedy" ~span:"exp_greedy.build" ~decide:oracle g
+  in
+  res.Engine.selection
 
 let build ~mode ~k ~f g = build_greedy ~decide:exists_fault_set ~mode ~k ~f g
 

@@ -7,13 +7,18 @@ module Workspace = struct
 
   let create () = { bfs = Bfs.Workspace.create (); blocked_v = [||]; blocked_e = [||] }
 
+  (* Growth must preserve contents: a workspace is shared across calls on
+     graphs of varying size, and replacing a mask with a fresh array would
+     silently drop any entries a caller pre-blocked before [decide] — the
+     masks are only guaranteed clean for indices the previous call dirtied. *)
+  let grow a len =
+    let bigger = Array.make (max len (2 * Array.length a)) false in
+    Array.blit a 0 bigger 0 (Array.length a);
+    bigger
+
   let ensure ws ~n ~m =
-    if Array.length ws.blocked_v < n then
-      ws.blocked_v <- Array.make (max n (2 * Array.length ws.blocked_v)) false;
-    if Array.length ws.blocked_e < m then begin
-      let bigger = Array.make (max m (2 * Array.length ws.blocked_e)) false in
-      ws.blocked_e <- bigger
-    end
+    if Array.length ws.blocked_v < n then ws.blocked_v <- grow ws.blocked_v n;
+    if Array.length ws.blocked_e < m then ws.blocked_e <- grow ws.blocked_e m
 end
 
 type verdict = Yes of { cut : int list } | No of { paths_seen : int }

@@ -1,4 +1,4 @@
-type order =
+type order = Engine.order =
   | By_weight
   | Input_order
   | Reverse_weight
@@ -16,62 +16,38 @@ let c_lbc_bfs_rounds = Obs.counter "lbc.bfs_rounds"
 let m_considered = Obs.counter "poly_greedy.edges_considered"
 let m_added = Obs.counter "poly_greedy.edges_added"
 
-let ordered_edges order g =
-  let edges = Graph.edge_array g in
-  (match order with
-  | By_weight -> Array.sort (fun a b -> compare a.Graph.w b.Graph.w) edges
-  | Input_order -> ()
-  | Reverse_weight -> Array.sort (fun a b -> compare b.Graph.w a.Graph.w) edges
-  | Shuffled rng -> Rng.shuffle rng edges
-  | Explicit perm ->
-      if Array.length perm <> Graph.m g then
-        invalid_arg "Poly_greedy: explicit order must be a permutation of edge ids";
-      let seen = Array.make (Graph.m g) false in
-      Array.iter
-        (fun id ->
-          if id < 0 || id >= Graph.m g || seen.(id) then
-            invalid_arg "Poly_greedy: explicit order must be a permutation of edge ids";
-          seen.(id) <- true)
-        perm;
-      Array.iteri (fun i id -> edges.(i) <- Graph.edge g id) perm);
-  edges
-
-let build_impl ?(order = By_weight) ?on_add ~mode ~k ~f g =
+let build_impl ?order ?on_add ~mode ~k ~f g =
   if k < 1 then invalid_arg "Poly_greedy.build: k must be >= 1";
   if f < 0 then invalid_arg "Poly_greedy.build: f must be >= 0";
-  Obs.with_span "poly_greedy.build" @@ fun () ->
   let t = (2 * k) - 1 in
-  let edges = ordered_edges order g in
-  let h = Graph.create (Graph.n g) in
-  let selected = Array.make (Graph.m g) false in
   let ws = Lbc.Workspace.create () in
   let calls0 = Obs.Counter.value c_lbc_calls in
   let yes0 = Obs.Counter.value c_lbc_yes in
   let rounds0 = Obs.Counter.value c_lbc_bfs_rounds in
-  let consider e =
-    Obs.Counter.incr m_considered;
-    match Lbc.decide ~ws ~edge:e.Graph.id ~mode h ~u:e.Graph.u ~v:e.Graph.v ~t ~alpha:f with
-    | Lbc.Yes { cut } ->
-        Obs.Counter.incr m_added;
-        if Obs_trace.enabled () then
-          Obs_trace.emit
-            (Obs_trace.Greedy_edge { edge = e.Graph.id; kept = true; weight = e.Graph.w });
-        (match on_add with
-        | Some fn ->
-            (* [cut] holds H-local ids; report the certificate in the
-               source graph's terms (vertex ids coincide; for EFT the
-               H edge ids are translated back below by the caller). *)
-            fn e cut
-        | None -> ());
-        ignore (Graph.add_edge h e.Graph.u e.Graph.v ~w:e.Graph.w);
-        selected.(e.Graph.id) <- true
-    | Lbc.No _ ->
-        if Obs_trace.enabled () then
-          Obs_trace.emit
-            (Obs_trace.Greedy_edge { edge = e.Graph.id; kept = false; weight = e.Graph.w })
+  (* The decision oracle: one LBC gap call per candidate, sequential
+     (batch 1), so every decision sees all earlier additions. *)
+  let decide h edges decisions lo hi =
+    for i = lo to hi - 1 do
+      let e = edges.(i) in
+      Obs.Counter.incr m_considered;
+      match
+        Lbc.decide ~ws ~edge:e.Graph.id ~mode h ~u:e.Graph.u ~v:e.Graph.v ~t
+          ~alpha:f
+      with
+      | Lbc.Yes { cut } ->
+          Obs.Counter.incr m_added;
+          (* [cut] holds H-local ids; the certificate is reported in the
+             source graph's terms (vertex ids coincide; for EFT the H edge
+             ids are translated back by the caller). *)
+          decisions.(i) <- Engine.Keep { cut }
+      | Lbc.No _ -> ()
+    done
   in
-  Array.iter consider edges;
-  ( Selection.of_mask g selected,
+  let res =
+    Engine.run ?order ~caller:"Poly_greedy" ~span:"poly_greedy.build" ?on_add
+      ~decide g
+  in
+  ( res.Engine.selection,
     {
       lbc_calls = Obs.Counter.value c_lbc_calls - calls0;
       bfs_rounds = Obs.Counter.value c_lbc_bfs_rounds - rounds0;

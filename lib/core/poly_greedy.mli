@@ -24,7 +24,7 @@
     ordering-sensitivity experiment (E10) does exactly that on unit-weight
     graphs, where every order is valid. *)
 
-type order =
+type order = Engine.order =
   | By_weight  (** nondecreasing weight — Algorithm 4, the default *)
   | Input_order  (** edge-id order *)
   | Reverse_weight  (** nonincreasing weight (ablation only) *)

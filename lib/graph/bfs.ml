@@ -49,7 +49,12 @@ let edge_blocked mask id =
 
 (* Core BFS loop shared by path extraction: fills [ws] with the BFS tree up
    to [max_hops] levels, stopping as soon as [dst] is reached.  Returns
-   [true] iff [dst] was reached. *)
+   [true] iff [dst] was reached.
+
+   The frontier scan indexes the CSR slices of [Graph.adjacency] directly
+   (append-buffer chain first, then the packed slice — the same
+   newest-first order the list adjacency had), which is the hot path of
+   every LBC call and hence of the whole greedy pipeline. *)
 let search ws ~blocked_vertices ~blocked_edges g ~src ~dst ~max_hops =
   let open Workspace in
   ensure ws (Graph.n g);
@@ -60,6 +65,10 @@ let search ws ~blocked_vertices ~blocked_edges g ~src ~dst ~max_hops =
   then false
   else if src = dst then true
   else begin
+    let adj = Graph.adjacency g in
+    let off = adj.Csr.off and nbr = adj.Csr.nbr and eid = adj.Csr.eid in
+    let bhead = adj.Csr.buf_head and bnbr = adj.Csr.buf_nbr in
+    let beid = adj.Csr.buf_eid and bnext = adj.Csr.buf_next in
     ws.seen.(src) <- stamp;
     ws.depth.(src) <- 0;
     ws.parent_edge.(src) <- -1;
@@ -71,7 +80,7 @@ let search ws ~blocked_vertices ~blocked_edges g ~src ~dst ~max_hops =
       let x = ws.queue.(!head) in
       incr head;
       let d = ws.depth.(x) in
-      if d < max_hops then
+      if d < max_hops then begin
         let visit y id =
           incr scanned;
           if
@@ -91,7 +100,15 @@ let search ws ~blocked_vertices ~blocked_edges g ~src ~dst ~max_hops =
             end
           end
         in
-        Graph.iter_neighbors g x visit
+        let j = ref bhead.(x) in
+        while !j >= 0 do
+          visit bnbr.(!j) beid.(!j);
+          j := bnext.(!j)
+        done;
+        for i = off.(x) to off.(x + 1) - 1 do
+          visit nbr.(i) eid.(i)
+        done
+      end
     done;
     Obs.Counter.add m_nodes !head;
     Obs.Counter.add m_edges !scanned;
@@ -123,6 +140,10 @@ let distances ?blocked_vertices ?blocked_edges g src =
   Obs.Counter.incr m_searches;
   if vertex_blocked blocked_vertices src then dist
   else begin
+    let adj = Graph.adjacency g in
+    let off = adj.Csr.off and nbr = adj.Csr.nbr and eid = adj.Csr.eid in
+    let bhead = adj.Csr.buf_head and bnbr = adj.Csr.buf_nbr in
+    let beid = adj.Csr.buf_eid and bnext = adj.Csr.buf_next in
     let queue = Array.make n 0 in
     dist.(src) <- 0;
     queue.(0) <- src;
@@ -143,7 +164,14 @@ let distances ?blocked_vertices ?blocked_edges g src =
           incr tail
         end
       in
-      Graph.iter_neighbors g x visit
+      let j = ref bhead.(x) in
+      while !j >= 0 do
+        visit bnbr.(!j) beid.(!j);
+        j := bnext.(!j)
+      done;
+      for i = off.(x) to off.(x + 1) - 1 do
+        visit nbr.(i) eid.(i)
+      done
     done;
     Obs.Counter.add m_nodes !head;
     Obs.Counter.add m_edges !scanned;

@@ -1,0 +1,136 @@
+type t = {
+  n : int;
+  mutable off : int array;
+  mutable nbr : int array;
+  mutable eid : int array;
+  mutable buf_head : int array;
+  mutable buf_nbr : int array;
+  mutable buf_eid : int array;
+  mutable buf_next : int array;
+  mutable buf_len : int;
+  mutable deg : int array;
+  mutable half : int;
+}
+
+let create n =
+  {
+    n;
+    off = Array.make (n + 1) 0;
+    nbr = [||];
+    eid = [||];
+    buf_head = Array.make n (-1);
+    buf_nbr = [||];
+    buf_eid = [||];
+    buf_next = [||];
+    buf_len = 0;
+    deg = Array.make n 0;
+    half = 0;
+  }
+
+let degree t u = t.deg.(u)
+let buffered t = t.buf_len
+
+let compact t =
+  if t.buf_len > 0 then begin
+    let nbr = Array.make t.half 0 and eid = Array.make t.half 0 in
+    let off = Array.make (t.n + 1) 0 in
+    let acc = ref 0 in
+    for u = 0 to t.n - 1 do
+      off.(u) <- !acc;
+      acc := !acc + t.deg.(u)
+    done;
+    off.(t.n) <- !acc;
+    (* Per vertex: buffer chain first (it is newest-first), then the old
+       packed slice (already newest-first) — decreasing edge ids
+       throughout, so the ordering contract survives compaction. *)
+    for u = 0 to t.n - 1 do
+      let cur = ref off.(u) in
+      let j = ref t.buf_head.(u) in
+      while !j >= 0 do
+        nbr.(!cur) <- t.buf_nbr.(!j);
+        eid.(!cur) <- t.buf_eid.(!j);
+        incr cur;
+        j := t.buf_next.(!j)
+      done;
+      t.buf_head.(u) <- -1;
+      for i = t.off.(u) to t.off.(u + 1) - 1 do
+        nbr.(!cur) <- t.nbr.(i);
+        eid.(!cur) <- t.eid.(i);
+        incr cur
+      done
+    done;
+    t.off <- off;
+    t.nbr <- nbr;
+    t.eid <- eid;
+    t.buf_len <- 0
+  end
+
+let grow_buffer t =
+  let cap = Array.length t.buf_nbr in
+  if t.buf_len = cap then begin
+    let cap' = max 16 (2 * cap) in
+    let widen a =
+      let b = Array.make cap' 0 in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    t.buf_nbr <- widen t.buf_nbr;
+    t.buf_eid <- widen t.buf_eid;
+    t.buf_next <- widen t.buf_next
+  end
+
+let add t u v id =
+  grow_buffer t;
+  let j = t.buf_len in
+  t.buf_nbr.(j) <- v;
+  t.buf_eid.(j) <- id;
+  t.buf_next.(j) <- t.buf_head.(u);
+  t.buf_head.(u) <- j;
+  t.buf_len <- j + 1;
+  t.deg.(u) <- t.deg.(u) + 1;
+  t.half <- t.half + 1;
+  (* Compact once the buffer outgrows a quarter of the packed region
+     (floor 64 half-edges): traversals between compactions chase at most
+     that many chain links per pass, and the rebuild schedule stays
+     geometric. *)
+  if t.buf_len >= max 64 ((t.half - t.buf_len) / 4) then compact t
+
+let iter t u fn =
+  let j = ref t.buf_head.(u) in
+  while !j >= 0 do
+    fn t.buf_nbr.(!j) t.buf_eid.(!j);
+    j := t.buf_next.(!j)
+  done;
+  for i = t.off.(u) to t.off.(u + 1) - 1 do
+    fn t.nbr.(i) t.eid.(i)
+  done
+
+let find t u v =
+  let rec chain j =
+    if j < 0 then None
+    else if t.buf_nbr.(j) = v then Some t.buf_eid.(j)
+    else chain t.buf_next.(j)
+  in
+  let rec packed i =
+    if i >= t.off.(u + 1) then None
+    else if t.nbr.(i) = v then Some t.eid.(i)
+    else packed (i + 1)
+  in
+  match chain t.buf_head.(u) with
+  | Some _ as found -> found
+  | None -> packed t.off.(u)
+
+let copy t =
+  {
+    n = t.n;
+    off = Array.copy t.off;
+    nbr = Array.copy t.nbr;
+    eid = Array.copy t.eid;
+    buf_head = Array.copy t.buf_head;
+    buf_nbr = Array.copy t.buf_nbr;
+    buf_eid = Array.copy t.buf_eid;
+    buf_next = Array.copy t.buf_next;
+    buf_len = t.buf_len;
+    deg = Array.copy t.deg;
+    half = t.half;
+  }

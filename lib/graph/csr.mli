@@ -1,0 +1,81 @@
+(** Incremental compressed-sparse-row (CSR) adjacency.
+
+    The flat core behind {!Graph}: incident half-edges live in packed int
+    arrays instead of cons lists, so the traversal inner loops ({!Bfs},
+    {!Dijkstra}, {!Hop_dp}) walk contiguous memory.  Two regions hold the
+    half-edges of a vertex [u]:
+
+    - the {b packed region} — [nbr.(i)]/[eid.(i)] for
+      [i] in [off.(u) .. off.(u+1) - 1], the classic CSR layout;
+    - the {b append buffer} — a chain starting at [buf_head.(u)] through
+      [buf_next], holding the half-edges added since the last compaction.
+
+    {!add} appends into the buffer in O(1) and, once the buffer holds more
+    than a quarter of the packed half-edges (with a constant floor),
+    merges it into a fresh packed layout ({!compact}).  The merge is
+    geometric, so the total compaction cost over [m] insertions is
+    [O((n + m) log m)] — negligible next to even a single BFS per
+    insertion, the access pattern of the greedy spanner loop.
+
+    {b Ordering contract}: iteration enumerates the half-edges of a vertex
+    in strictly decreasing edge-id order (newest first) — buffer chain
+    first, then the packed slice.  This is exactly the order of the
+    historical [(neighbor, id) list] adjacency, which greedy verdicts,
+    BFS parents and the checked-in bench counters all depend on;
+    {!compact} preserves it.
+
+    {b Concurrency}: [iter], [find], [degree] and reads of the public
+    fields never mutate; concurrent readers (e.g. the parallel batch
+    decision phase) are safe.  [add] may compact and replace the arrays —
+    single writer, no concurrent readers during a write. *)
+
+type t = private {
+  n : int;  (** vertex count, fixed at creation *)
+  mutable off : int array;  (** [n + 1] slice offsets into [nbr]/[eid] *)
+  mutable nbr : int array;  (** packed neighbor vertices *)
+  mutable eid : int array;  (** packed edge ids, parallel to [nbr] *)
+  mutable buf_head : int array;
+      (** per-vertex head of the append-buffer chain, [-1] when empty *)
+  mutable buf_nbr : int array;  (** buffered neighbor vertices *)
+  mutable buf_eid : int array;  (** buffered edge ids *)
+  mutable buf_next : int array;  (** chain links, [-1] terminated *)
+  mutable buf_len : int;  (** half-edges currently buffered *)
+  mutable deg : int array;  (** per-vertex degree (packed + buffered) *)
+  mutable half : int;  (** total half-edges stored *)
+}
+(** Read-only view; hot loops index [off]/[nbr]/[eid] and walk the
+    [buf_*] chains directly (see {!Bfs.search} for the idiom).  The
+    arrays are replaced wholesale by {!add}-triggered compaction: capture
+    them once per traversal of an unchanging structure, re-read after any
+    [add]. *)
+
+(** [create n] is the empty adjacency over vertices [0 .. n-1]. *)
+val create : int -> t
+
+(** [add t u v id] records the half-edge [u -> v] with edge id [id].
+    Amortized O(1); may trigger {!compact}.  Callers add both directions
+    of an undirected edge.  No bounds or duplicate checks — {!Graph}
+    validates. *)
+val add : t -> int -> int -> int -> unit
+
+(** [iter t u fn] applies [fn v id] to every half-edge of [u], newest
+    first (see the ordering contract above). *)
+val iter : t -> int -> (int -> int -> unit) -> unit
+
+(** [find t u v] is the id of the most recently added half-edge [u -> v],
+    if any. *)
+val find : t -> int -> int -> int option
+
+(** [degree t u] is the number of half-edges of [u].  O(1). *)
+val degree : t -> int -> int
+
+(** [buffered t] is the number of half-edges awaiting compaction
+    (exposed for the compaction-invariant tests). *)
+val buffered : t -> int
+
+(** [compact t] merges the append buffer into the packed region; a no-op
+    when the buffer is empty.  Iteration order is unchanged. *)
+val compact : t -> unit
+
+(** [copy t] is an independent deep copy. *)
+val copy : t -> t

@@ -4,14 +4,14 @@ type t = {
   size : int;
   mutable count : int;
   mutable store : edge array;  (* first [count] slots are valid *)
-  adj : (int * int) list array;
+  adj : Csr.t;  (* flat adjacency; see Csr for the layout *)
 }
 
 let dummy_edge = { u = -1; v = -1; w = 0.; id = -1 }
 
 let create n =
   if n < 0 then invalid_arg "Graph.create: negative size";
-  { size = n; count = 0; store = Array.make (max 8 n) dummy_edge; adj = Array.make n [] }
+  { size = n; count = 0; store = Array.make (max 8 n) dummy_edge; adj = Csr.create n }
 
 let n g = g.size
 let m g = g.count
@@ -20,22 +20,22 @@ let check_vertex g x name =
   if x < 0 || x >= g.size then
     invalid_arg (Printf.sprintf "Graph.%s: vertex %d out of range [0,%d)" name x g.size)
 
+let adjacency g = g.adj
+
 let neighbors g u =
   check_vertex g u "neighbors";
-  g.adj.(u)
+  let acc = ref [] in
+  Csr.iter g.adj u (fun v id -> acc := (v, id) :: !acc);
+  List.rev !acc
 
 let degree g u =
   check_vertex g u "degree";
-  List.length g.adj.(u)
+  Csr.degree g.adj u
 
 let find_edge g u v =
   check_vertex g u "find_edge";
   check_vertex g v "find_edge";
-  let rec scan = function
-    | [] -> None
-    | (x, id) :: rest -> if x = v then Some id else scan rest
-  in
-  scan g.adj.(u)
+  Csr.find g.adj u v
 
 let mem_edge g u v = Option.is_some (find_edge g u v)
 
@@ -59,8 +59,8 @@ let add_edge g u v ~w =
   grow g;
   g.store.(id) <- { u = lo; v = hi; w; id };
   g.count <- id + 1;
-  g.adj.(u) <- (v, id) :: g.adj.(u);
-  g.adj.(v) <- (u, id) :: g.adj.(v);
+  Csr.add g.adj u v id;
+  Csr.add g.adj v u id;
   id
 
 let add_edge_unit g u v = add_edge g u v ~w:1.0
@@ -108,14 +108,14 @@ let edge_array g = Array.sub g.store 0 g.count
 
 let iter_neighbors g u fn =
   check_vertex g u "iter_neighbors";
-  List.iter (fun (v, id) -> fn v id) g.adj.(u)
+  Csr.iter g.adj u fn
 
 let copy g =
   {
     size = g.size;
     count = g.count;
     store = Array.copy g.store;
-    adj = Array.copy g.adj;
+    adj = Csr.copy g.adj;
   }
 
 let total_weight g = fold_edges g 0. (fun acc e -> acc +. e.w)
@@ -123,7 +123,7 @@ let total_weight g = fold_edges g 0. (fun acc e -> acc +. e.w)
 let max_degree g =
   let best = ref 0 in
   for u = 0 to g.size - 1 do
-    let d = List.length g.adj.(u) in
+    let d = Csr.degree g.adj u in
     if d > !best then best := d
   done;
   !best

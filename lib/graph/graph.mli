@@ -9,7 +9,14 @@
     Parallel edges and self-loops are rejected by {!add_edge}; spanner
     theory assumes simple graphs.  Weights default to [1.0]; a graph in
     which every weight equals [1.0] is treated as unweighted by algorithms
-    that care about the distinction (see {!is_unit_weighted}). *)
+    that care about the distinction (see {!is_unit_weighted}).
+
+    Adjacency is stored flat ({!Csr}: packed offset/neighbor/edge-id int
+    arrays plus an append buffer for recent insertions), so traversal
+    inner loops stream over contiguous memory rather than chasing cons
+    cells.  This module remains the construction and ownership layer:
+    build and mutate through it, read through {!iter_neighbors} (or the
+    raw {!adjacency} view in hot loops). *)
 
 type edge = private {
   u : int;  (** smaller endpoint *)
@@ -65,7 +72,13 @@ val weight : t -> int -> float
 val other_endpoint : t -> int -> int -> int
 
 (** [neighbors g u] lists [(v, edge_id)] for every edge incident to [u].
-    The returned list is in reverse insertion order; treat it as a set. *)
+    The returned list is in reverse insertion order; treat it as a set.
+
+    {b Migration note}: adjacency is no longer stored as lists, so this
+    allocates a fresh list per call.  Code that used to walk
+    [Graph.neighbors] should iterate with {!iter_neighbors} (same order,
+    allocation-free) or, in traversal inner loops, index the {!adjacency}
+    slices directly. *)
 val neighbors : t -> int -> (int * int) list
 
 (** [degree g u] is the number of edges incident to [u]. *)
@@ -91,6 +104,13 @@ val edge_array : t -> edge array
 (** [iter_neighbors g u fn] applies [fn v edge_id] for each edge incident to
     [u].  Allocation-free; preferred in inner loops. *)
 val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
+
+(** [adjacency g] is the live flat adjacency ({!Csr.t}) of [g], for
+    traversals that index the offset/neighbor/edge-id slices directly
+    ({!Bfs}, {!Dijkstra}, {!Hop_dp}).  Read-only: the arrays are replaced
+    wholesale by the next {!add_edge}-triggered compaction, so capture the
+    view once per traversal and re-fetch after any mutation. *)
+val adjacency : t -> Csr.t
 
 (** {1 Aggregates} *)
 

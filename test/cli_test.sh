@@ -113,6 +113,12 @@ grep -q '"entries": \[\]' "$TMP/bench-empty.json" \
 "$BENCH" --smoke --json "$TMP/bench-run.json" >/dev/null || fail "bench --smoke"
 "$COMPARE" --slack 2 "$BASELINE" "$TMP/bench-run.json" >/dev/null \
   || fail "compare must accept an in-tolerance smoke run"
+# refactor gate (the @refactor-check alias chains this same comparison
+# after build + runtest): counters must hold at the default, tight
+# tolerance — only wall time gets extra slack, since it is the one
+# nondeterministic metric on a shared runner
+"$COMPARE" --tol-wall 4 --tol-wall-abs 1 "$BASELINE" "$TMP/bench-run.json" \
+  >/dev/null || fail "refactor gate: counters must hold at default tolerance"
 # ... and an artificially inflated counter trips it
 sed 's/"lbc.calls": [0-9]*/"lbc.calls": 999999999/' "$TMP/bench-run.json" \
   > "$TMP/bench-inflated.json"

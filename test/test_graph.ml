@@ -99,6 +99,124 @@ let test_graph_find_edge () =
   check (Alcotest.option Alcotest.int) "absent" None (Graph.find_edge g 0 3)
 
 (* -------------------------------------------------------------------- *)
+(* Csr — the flat adjacency behind Graph                                *)
+
+(* Every half-edge sequence a vertex exposes, via the public Csr.iter. *)
+let iter_seq adj v =
+  let acc = ref [] in
+  Csr.iter adj v (fun nbr id -> acc := (nbr, id) :: !acc);
+  List.rev !acc
+
+(* A random graph built through interleaved add_edge calls, so the append
+   buffer sees many partial states and several compactions fire. *)
+let random_grown r ~n ~m =
+  let g = Graph.create n in
+  while Graph.m g < m do
+    let u = Rng.int r n and v = Rng.int r n in
+    if u <> v && not (Graph.mem_edge g u v) then
+      ignore (Graph.add_edge g u v ~w:(1. +. float_of_int (Rng.int r 5)))
+  done;
+  g
+
+let test_csr_invariants_under_growth () =
+  let r = rng () in
+  let g = random_grown r ~n:40 ~m:220 in
+  let adj = Graph.adjacency g in
+  let halves = ref 0 in
+  let seen = Array.make (Graph.m g) 0 in
+  for v = 0 to Graph.n g - 1 do
+    let seq = iter_seq adj v in
+    checki (Printf.sprintf "degree %d" v) (Graph.degree g v) (List.length seq);
+    halves := !halves + List.length seq;
+    (* Ordering contract: strictly decreasing edge ids (newest first). *)
+    let ids = List.map snd seq in
+    (match ids with
+    | [] -> ()
+    | _ :: tl ->
+        checkb
+          (Printf.sprintf "vertex %d ids strictly decreasing" v)
+          true
+          (List.for_all2 ( > ) ids (tl @ [ -1 ])));
+    List.iter (fun id -> seen.(id) <- seen.(id) + 1) ids
+  done;
+  checki "buffered + packed = 2m" (2 * Graph.m g) !halves;
+  Array.iteri (fun id c -> checki (Printf.sprintf "edge %d twice" id) 2 c) seen
+
+let test_csr_compact_preserves_iteration () =
+  let r = rng () in
+  let g = random_grown r ~n:30 ~m:120 in
+  let adj = Graph.adjacency g in
+  let before = List.init (Graph.n g) (iter_seq adj) in
+  Csr.compact adj;
+  checki "buffer drained" 0 (Csr.buffered adj);
+  let after = List.init (Graph.n g) (iter_seq adj) in
+  List.iteri
+    (fun v (b, a) ->
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+        (Printf.sprintf "vertex %d sequence unchanged" v)
+        b a)
+    (List.combine before after)
+
+(* The buffered and fully-compacted views must be observationally
+   equivalent: same BFS layers, same Dijkstra distances, same LBC
+   verdicts.  [compacted] is a deep copy whose buffer is force-drained,
+   so the two graphs differ only in physical layout. *)
+let test_csr_views_equivalent () =
+  let r = rng () in
+  for _ = 1 to 5 do
+    let g = random_grown r ~n:36 ~m:150 in
+    let c = Graph.copy g in
+    Csr.compact (Graph.adjacency c);
+    let src = Rng.int r (Graph.n g) in
+    let db = Bfs.distances g src and dc = Bfs.distances c src in
+    check (Alcotest.array Alcotest.int) "bfs layers" db dc;
+    for dst = 0 to Graph.n g - 1 do
+      let wb = Dijkstra.distance_upto g ~src ~dst ~cutoff:infinity in
+      let wc = Dijkstra.distance_upto c ~src ~dst ~cutoff:infinity in
+      check (Alcotest.option (Alcotest.float 1e-9)) "dijkstra" wb wc
+    done;
+    let u = Rng.int r (Graph.n g) and v = Rng.int r (Graph.n g) in
+    if u <> v then
+      List.iter
+        (fun mode ->
+          let vb = Lbc.decide ~mode g ~u ~v ~t:3 ~alpha:2 in
+          let vc = Lbc.decide ~mode c ~u ~v ~t:3 ~alpha:2 in
+          match (vb, vc) with
+          | Lbc.Yes { cut = c1 }, Lbc.Yes { cut = c2 } ->
+              check
+                (Alcotest.list Alcotest.int)
+                "lbc cut" (List.sort compare c1) (List.sort compare c2)
+          | Lbc.No _, Lbc.No _ -> ()
+          | _ -> Alcotest.fail "lbc verdict diverged between views")
+        [ Fault.VFT; Fault.EFT ]
+  done
+
+(* The CSR must reproduce the historical cons-list adjacency exactly:
+   iteration order equals the order of a [(v, id) :: list] model. *)
+let test_csr_matches_list_model () =
+  let r = rng () in
+  let n = 25 in
+  let g = Graph.create n in
+  let model = Array.make n [] in
+  for _ = 1 to 400 do
+    let u = Rng.int r n and v = Rng.int r n in
+    if u <> v && not (Graph.mem_edge g u v) then begin
+      let id = Graph.add_edge g u v ~w:1. in
+      let u', v' = (min u v, max u v) in
+      model.(u') <- (v', id) :: model.(u');
+      model.(v') <- (u', id) :: model.(v')
+    end
+  done;
+  let adj = Graph.adjacency g in
+  for v = 0 to n - 1 do
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+      (Printf.sprintf "vertex %d matches model" v)
+      model.(v) (iter_seq adj v)
+  done
+
+(* -------------------------------------------------------------------- *)
 (* Path                                                                 *)
 
 let test_path_basic () =
@@ -737,6 +855,16 @@ let () =
           Alcotest.test_case "copy independent" `Quick test_graph_copy_independent;
           Alcotest.test_case "unit weighted" `Quick test_graph_unit_weighted;
           Alcotest.test_case "find edge" `Quick test_graph_find_edge;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "growth invariants" `Quick
+            test_csr_invariants_under_growth;
+          Alcotest.test_case "compact preserves order" `Quick
+            test_csr_compact_preserves_iteration;
+          Alcotest.test_case "views equivalent" `Quick test_csr_views_equivalent;
+          Alcotest.test_case "matches list model" `Quick
+            test_csr_matches_list_model;
         ] );
       ( "path",
         [

@@ -184,6 +184,37 @@ let test_lbc_workspace_reuse_consistent () =
     end
   done
 
+(* Regression for the workspace growth bug: [Workspace.ensure] used to
+   replace a too-small mask with a fresh array instead of blit-growing it,
+   so a workspace shared across graphs of interleaved sizes lost mask
+   state exactly when a bigger graph forced a growth.  Verdicts AND cut
+   certificates must match fresh-workspace runs at every step. *)
+let test_lbc_workspace_growth_preserves_state () =
+  let ws = Lbc.Workspace.create () in
+  let r = rng () in
+  let sizes = [ 8; 40; 12; 200; 10; 400; 16 ] in
+  List.iter
+    (fun n ->
+      let g = Generators.connected_gnp r ~n ~p:(min 0.5 (8.0 /. float_of_int n)) in
+      let u = Rng.int r n and v = Rng.int r n in
+      if u <> v then
+        List.iter
+          (fun mode ->
+            let shared = Lbc.decide ~ws ~mode g ~u ~v ~t:3 ~alpha:2 in
+            let fresh = Lbc.decide ~mode g ~u ~v ~t:3 ~alpha:2 in
+            match (shared, fresh) with
+            | Lbc.Yes { cut = c1 }, Lbc.Yes { cut = c2 } ->
+                check
+                  Alcotest.(list int)
+                  (Printf.sprintf "same cut at n=%d" n)
+                  (List.sort compare c2) (List.sort compare c1)
+            | Lbc.No _, Lbc.No _ -> ()
+            | _ ->
+                Alcotest.failf "verdict diverged at n=%d: shared=%b fresh=%b" n
+                  (is_yes shared) (is_yes fresh))
+          [ Fault.VFT; Fault.EFT ])
+    sizes
+
 let test_lbc_rejects_bad_args () =
   let g = Generators.path 3 in
   (try
@@ -243,6 +274,8 @@ let () =
           Alcotest.test_case "YES certificates" `Quick test_lbc_yes_certificate_is_cut;
           Alcotest.test_case "EFT theta" `Quick test_lbc_eft_theta;
           Alcotest.test_case "workspace reuse" `Quick test_lbc_workspace_reuse_consistent;
+          Alcotest.test_case "workspace growth" `Quick
+            test_lbc_workspace_growth_preserves_state;
           Alcotest.test_case "rejects bad args" `Quick test_lbc_rejects_bad_args;
           Alcotest.test_case "monotone in alpha" `Quick test_lbc_monotone_in_alpha;
           Alcotest.test_case "no graph mutation" `Quick test_lbc_does_not_mutate_graph;

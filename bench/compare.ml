@@ -9,7 +9,10 @@
    repo's seeds make them deterministic; wall time loose, with an
    absolute floor so sub-noise timings cannot fail).  [--slack] scales
    every tolerance at once: the @obs-check alias passes [--slack 2] so
-   the gate stays stable on shared runners.
+   the gate stays stable on shared runners.  Scheduling-dependent
+   [pool.*] counters are skipped by Obs_compare in both documents, so
+   the parallel entries (greedy-parallel) gate on their deterministic
+   algorithm counters but never on steal order or jobs count.
 
    Exit status: 0 when every metric is within tolerance (improvements
    included), 1 on any regression or baseline metric missing from the

@@ -23,7 +23,7 @@
 let usage oc =
   output_string oc
     "usage: main.exe [--json FILE] [--trace FILE[,chrome]] [--smoke] \
-     [--match SUBSTR] [e1..e17|micro]...\n";
+     [--match SUBSTR] [--jobs N] [e1..e17|micro]...\n";
   output_string oc "experiments:\n";
   List.iter (fun (name, _) -> Printf.fprintf oc "  %s\n" name) Experiments.by_name;
   output_string oc "smoke subset (also run by --smoke):\n";
@@ -62,6 +62,15 @@ let parse_args args =
     | Some t -> trace := Some t
     | None -> bad_usage "--trace requires a file argument"
   in
+  (* Worker-domain count for the parallel experiments (greedy-parallel and
+     the E12 sweep read it back via [Exec.default_jobs]).  The default, 1,
+     keeps every job sequential so checked-in counters stay exact. *)
+  let set_jobs value =
+    match int_of_string_opt value with
+    | Some n when n >= 1 -> Exec.set_default_jobs n
+    | Some n -> bad_usage "--jobs must be >= 1 (got %d)" n
+    | None -> bad_usage "--jobs requires an integer argument (got %S)" value
+  in
   let opt_with_value name set = function
     | value :: rest ->
         set value;
@@ -74,6 +83,7 @@ let parse_args args =
     | "--trace" :: rest -> go (opt_with_value "--trace" set_trace rest)
     | "--match" :: rest ->
         go (opt_with_value "--match" (fun s -> filter := Some s) rest)
+    | ("--jobs" | "-j") :: rest -> go (opt_with_value "--jobs" set_jobs rest)
     | "--smoke" :: rest ->
         smoke := true;
         go rest
@@ -85,6 +95,9 @@ let parse_args args =
         go rest
     | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--match=" ->
         filter := Some (String.sub arg 8 (String.length arg - 8));
+        go rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        set_jobs (String.sub arg 7 (String.length arg - 7));
         go rest
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
         bad_usage "unknown option %S" arg

@@ -38,6 +38,28 @@ let graph_arg =
 let load_graph file =
   try Ok (Graph_io.load file) with Failure msg -> Error (`Msg msg)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sections (the batched greedy's \
+     decision phase under $(b,build), the fault batteries under \
+     $(b,verify)).  Defaults to 1 — fully sequential, so existing \
+     scripted runs are byte-identical — or to $(b,FTSPAN_JOBS) when that \
+     is set.  Results are deterministic: any jobs count produces the \
+     same output as 1."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (`Msg (Printf.sprintf "--jobs must be >= 1 (got %d)" n))
+  | None -> Ok (Exec.default_jobs ())
+
+(* Run [f] with a pool of [jobs] workers ([None] when sequential), shut
+   down on every exit path. *)
+let with_jobs jobs f =
+  if jobs = 1 then f None
+  else Exec.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
 let metrics_arg =
   let doc =
     "Report collected telemetry (counters, timers, histograms, spans) \
@@ -217,6 +239,17 @@ let algo_arg =
   in
   Arg.(value & opt enum_conv Spanner.Greedy_poly & info [ "algo" ] ~docv:"ALGO" ~doc)
 
+let batch_arg =
+  let doc =
+    "Decision-batch size for the greedy: edges per block decided against \
+     the same frozen partial spanner.  $(b,--jobs) parallelism applies \
+     within a block, so batching trades spanner size for parallel \
+     speedup (experiment E12 quantifies the curve).  Defaults to 1 \
+     (fully sequential decisions) when $(b,--jobs) is 1, else 512.  \
+     Applies to greedy-poly only."
+  in
+  Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"B" ~doc)
+
 let spanner_out_arg =
   let doc = "Write the selected edge ids (one per line) to this file." in
   Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
@@ -233,15 +266,25 @@ let save_selection sel file =
       List.iter (fun id -> output_string oc (string_of_int id ^ "\n")) (Selection.ids sel))
 
 let build_cmd =
-  let run seed k f mode algo metrics trace file out dot =
+  let run seed k f mode algo jobs batch metrics trace file out dot =
+    match (resolve_jobs jobs, batch) with
+    | Error _ as e, _ -> e
+    | _, Some b when b < 1 ->
+        Error (`Msg (Printf.sprintf "--batch must be >= 1 (got %d)" b))
+    | Ok jobs, batch ->
+    let batch =
+      match batch with Some b -> b | None -> if jobs > 1 then 512 else 1
+    in
     Result.map
       (fun g ->
         with_metrics metrics ~id:"build" @@ fun () ->
         with_trace trace @@ fun () ->
+        with_jobs jobs @@ fun pool ->
         let rng = Rng.create ~seed in
         let params = { Spanner.k; f; mode } in
+        let options = Spanner.options ~batch ?pool () in
         let t0 = Unix.gettimeofday () in
-        let sel = Spanner.build ~rng ~algorithm:algo params g in
+        let sel = Spanner.build ~rng ~algorithm:algo ~options params g in
         let dt = Unix.gettimeofday () -. t0 in
         let summary = Spanner.summarize ~algorithm:algo params sel in
         Printf.printf "%s\n" (Format.asprintf "%a" Spanner.pp_summary summary);
@@ -266,8 +309,9 @@ let build_cmd =
   let term =
     Term.(
       term_result
-        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ algo_arg
-       $ metrics_arg $ trace_arg $ graph_arg $ spanner_out_arg $ dot_out_arg))
+        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ algo_arg $ jobs_arg
+       $ batch_arg $ metrics_arg $ trace_arg $ graph_arg $ spanner_out_arg
+       $ dot_out_arg))
   in
   Cmd.v (Cmd.info "build" ~doc:"Construct a fault-tolerant spanner.") term
 
@@ -300,10 +344,10 @@ let load_selection g file =
       Selection.of_ids g !ids)
 
 let verify_cmd =
-  let run seed k f mode trials exhaustive graph_file sel_file =
-    match load_graph graph_file with
-    | Error e -> Error e
-    | Ok g -> (
+  let run seed k f mode jobs trials exhaustive graph_file sel_file =
+    match (resolve_jobs jobs, load_graph graph_file) with
+    | (Error e, _) | (_, Error e) -> Error e
+    | Ok jobs, Ok g -> (
         let sel =
           try Ok (load_selection g sel_file)
           with e -> Error (`Msg (Printexc.to_string e))
@@ -311,13 +355,14 @@ let verify_cmd =
         match sel with
         | Error e -> Error e
         | Ok sel ->
+            with_jobs jobs @@ fun pool ->
             let rng = Rng.create ~seed in
             let stretch = float_of_int ((2 * k) - 1) in
             let report =
               if exhaustive then Verify.check_exhaustive sel ~mode ~stretch ~f
               else begin
-                let a = Verify.check_adversarial rng sel ~mode ~stretch ~f ~trials in
-                if Verify.ok a then Verify.check_random rng sel ~mode ~stretch ~f ~trials
+                let a = Verify.check_adversarial ?pool rng sel ~mode ~stretch ~f ~trials in
+                if Verify.ok a then Verify.check_random ?pool rng sel ~mode ~stretch ~f ~trials
                 else a
               end
             in
@@ -326,7 +371,7 @@ let verify_cmd =
             | None ->
                 Printf.printf "OK: no stretch violation found (stretch %.0f, f=%d)\n"
                   stretch f;
-                let profile = Verify.stretch_profile rng sel ~mode ~f ~trials:(min trials 50) in
+                let profile = Verify.stretch_profile ?pool rng sel ~mode ~f ~trials:(min trials 50) in
                 Printf.printf "%s\n" (Format.asprintf "%a" Verify.pp_profile profile);
                 Ok ()
             | Some v ->
@@ -337,8 +382,8 @@ let verify_cmd =
   let term =
     Term.(
       term_result
-        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ trials_arg
-       $ exhaustive_arg $ graph_arg $ selection_arg))
+        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ jobs_arg
+       $ trials_arg $ exhaustive_arg $ graph_arg $ selection_arg))
   in
   Cmd.v (Cmd.info "verify" ~doc:"Verify a spanner selection under faults.") term
 

@@ -1,11 +1,12 @@
 type result = { selection : Selection.t; batches : int; max_batch : int }
 
-(* [decide_range] judges edges.(lo..hi-1) against the frozen spanner [h],
-   writing verdicts into [verdicts]; [h] is not mutated, so concurrent
-   calls on disjoint ranges are race-free.  Each call owns a fresh
-   workspace — required when ranges are fanned out over domains. *)
-let decide_range ~mode ~t ~f h edges verdicts lo hi =
-  let ws = Lbc.Workspace.create () in
+(* [decide_range ~ws] judges edges.(lo..hi-1) against the frozen spanner
+   [h], writing verdicts into [verdicts]; [h] is not mutated, so
+   concurrent calls on disjoint ranges are race-free.  The workspace is
+   the caller's: sequential builds reuse one across every batch, parallel
+   builds pass each worker its pool-owned workspace — either way the
+   steady-state decide path allocates nothing. *)
+let decide_range ~ws ~mode ~t ~f h edges verdicts lo hi =
   for i = lo to hi - 1 do
     let e = edges.(i) in
     match
@@ -18,17 +19,34 @@ let decide_range ~mode ~t ~f h edges verdicts lo hi =
 let m_batches = Obs.counter "batch_greedy.batches"
 let m_committed = Obs.counter "batch_greedy.edges_committed"
 
-let build_impl ?order ~decide ~mode ~k ~f ~batch g =
+(* Per-pool LBC workspaces, one per worker, keyed by pool id so they
+   survive across builds on the same pool (worker indices bind to fixed
+   domains for a pool's lifetime, so slot [w] is only ever touched by
+   worker [w]).  A pool is expected to outlive many builds; the arrays
+   grow to the largest graph seen and are garbage only after the pool
+   itself is dropped. *)
+let pool_workspaces : (int, Lbc.Workspace.t array) Hashtbl.t = Hashtbl.create 7
+
+let workspaces_for pool =
+  let key = Exec.Pool.id pool in
+  match Hashtbl.find_opt pool_workspaces key with
+  | Some a when Array.length a = Exec.Pool.size pool -> a
+  | _ ->
+      let a =
+        Array.init (Exec.Pool.size pool) (fun _ -> Lbc.Workspace.create ())
+      in
+      Hashtbl.replace pool_workspaces key a;
+      a
+
+let build_impl ?order ~decide ~mode:_ ~k ~f:_ ~batch g =
   if batch < 1 then invalid_arg "Batch_greedy.build: batch must be >= 1";
   if k < 1 then invalid_arg "Batch_greedy.build: k must be >= 1";
-  if f < 0 then invalid_arg "Batch_greedy.build: f must be >= 0";
-  let t = (2 * k) - 1 in
   (* Adapter from the bool-verdict range deciders (kept as the unit the
      parallel build fans out over domains) to Engine decisions. *)
   let verdicts = Array.make (max 1 (Graph.m g)) false in
   let decide h edges decisions lo hi =
     Array.fill verdicts lo (hi - lo) false;
-    decide ~mode ~t ~f h edges verdicts lo hi;
+    decide h edges verdicts lo hi;
     for i = lo to hi - 1 do
       if verdicts.(i) then decisions.(i) <- Engine.Keep { cut = [] }
     done
@@ -49,25 +67,34 @@ let build_impl ?order ~decide ~mode ~k ~f ~batch g =
     max_batch = res.Engine.max_batch;
   }
 
-let build ?order ~mode ~k ~f ~batch g =
-  build_impl ?order ~decide:decide_range ~mode ~k ~f ~batch g
+let build ?order ?pool ~mode ~k ~f ~batch g =
+  if f < 0 then invalid_arg "Batch_greedy.build: f must be >= 0";
+  let t = (2 * k) - 1 in
+  let decide =
+    match pool with
+    | None ->
+        (* Sequential: one workspace reused across every batch. *)
+        let ws = Lbc.Workspace.create () in
+        fun h edges verdicts lo hi ->
+          decide_range ~ws ~mode ~t ~f h edges verdicts lo hi
+    | Some pool ->
+        (* Parallel: the decision phase of each batch fans out over the
+           pool with dynamic chunking, each worker deciding with its own
+           pool-owned workspace.  Verdicts land by index, so the
+           selection is bit-identical to the sequential build whatever
+           the domain count or steal order. *)
+        let workspaces = workspaces_for pool in
+        fun h edges verdicts lo hi ->
+          Exec.parallel_for pool ~lo ~hi (fun ~worker l r ->
+              decide_range ~ws:workspaces.(worker) ~mode ~t ~f h edges
+                verdicts l r)
+  in
+  build_impl ?order ~decide ~mode ~k ~f ~batch g
 
 let build_parallel ?order ~mode ~k ~f ~batch ~domains g =
-  if domains < 1 then invalid_arg "Batch_greedy.build_parallel: domains must be >= 1";
+  if domains < 1 then
+    invalid_arg "Batch_greedy.build_parallel: domains must be >= 1";
   if domains = 1 then build ?order ~mode ~k ~f ~batch g
-  else begin
-    let decide ~mode ~t ~f h edges verdicts lo hi =
-      let span = hi - lo in
-      let workers = min domains (max 1 span) in
-      let chunk = (span + workers - 1) / workers in
-      let spawn w =
-        let wlo = lo + (w * chunk) in
-        let whi = min hi (wlo + chunk) in
-        Domain.spawn (fun () ->
-            if wlo < whi then decide_range ~mode ~t ~f h edges verdicts wlo whi)
-      in
-      let handles = List.init workers spawn in
-      List.iter Domain.join handles
-    in
-    build_impl ?order ~decide ~mode ~k ~f ~batch g
-  end
+  else
+    Exec.Pool.with_pool ~domains (fun pool ->
+        build ?order ~pool ~mode ~k ~f ~batch g)

@@ -22,12 +22,23 @@ type result = {
   max_batch : int;  (** largest batch size (parallelism exposed) *)
 }
 
-(** [build ?order ~mode ~k ~f ~batch g] runs the batched greedy with
+(** [build ?order ?pool ~mode ~k ~f ~batch g] runs the batched greedy with
     batches of [batch] edges ([batch = 1] is exactly {!Poly_greedy.build};
     [batch >= m] decides every edge against the empty spanner).  Requires
-    [batch >= 1]. *)
+    [batch >= 1].
+
+    With [pool], the decision phase of each batch fans out over the
+    pool's domains via {!Exec.parallel_for} with dynamic chunking (the
+    partial spanner is read-only during a decision phase, so the LBC
+    calls are data-race-free by construction; each worker decides with
+    its own pool-owned {!Lbc.Workspace}, reused across batches and across
+    builds on the same pool).  Verdicts are written by index, so the
+    selection is {b bit-identical} to the [pool]-less build with the same
+    parameters, for every domain count and steal order — the tests assert
+    this and the bench counter gate relies on it. *)
 val build :
   ?order:Poly_greedy.order ->
+  ?pool:Exec.Pool.t ->
   mode:Fault.mode ->
   k:int ->
   f:int ->
@@ -35,12 +46,15 @@ val build :
   Graph.t ->
   result
 
-(** [build_parallel ?order ~mode ~k ~f ~batch ~domains g] is {!build} with
-    the decision phase of each batch actually fanned out over [domains]
-    OCaml 5 domains (the partial spanner is read-only during a decision
-    phase, so the LBC calls are data-race-free by construction; every
-    domain uses its own workspace).  Produces exactly the same selection
-    as {!build} with the same parameters.  Requires [domains >= 1]. *)
+(** [build_parallel ?order ~mode ~k ~f ~batch ~domains g] is
+    [build ~pool ~batch] on a throwaway [domains]-worker pool (spawned
+    and joined inside the call).  Requires [domains >= 1].
+
+    @deprecated Create a {!Exec.Pool.t} once and pass it to {!build}
+    instead — a persistent pool amortizes domain startup across batches
+    and builds, which is the entire point of the executor.  This wrapper
+    keeps the historical per-call-spawn signature compiling for
+    out-of-tree callers and will be removed in a future release. *)
 val build_parallel :
   ?order:Poly_greedy.order ->
   mode:Fault.mode ->
@@ -50,3 +64,5 @@ val build_parallel :
   domains:int ->
   Graph.t ->
   result
+[@@ocaml.deprecated
+  "Use Batch_greedy.build ?pool with a persistent Exec.Pool.t instead."]

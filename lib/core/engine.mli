@@ -11,9 +11,12 @@
     The loop is batched: edges are decided in blocks of [batch] against a
     {e frozen} [H], then the accepted block members are committed together
     ([batch = 1] is the fully sequential greedy — each decision sees every
-    earlier commit).  The decider for a block may fan out over domains
-    ({!Batch_greedy.build_parallel}); [H] is read-only during a decision
-    phase, so block decisions are data-race-free by construction.
+    earlier commit).  The decider for a block may fan out over the
+    persistent domain pool via {!Exec.parallel_for}, as
+    [Batch_greedy.build ?pool] does; [H] is read-only during a decision
+    phase, so block decisions are data-race-free by construction, and
+    deciders that record verdicts by index inherit {!Exec}'s determinism
+    contract (bit-identical decisions at every domain count).
 
     The engine carries no counters of its own: each variant keeps its
     historical [Obs] series by incrementing them inside its decider /

@@ -17,11 +17,34 @@ type params = { k : int; f : int; mode : Fault.mode }
 
 let stretch p = float_of_int ((2 * p.k) - 1)
 
-let build ?rng ?(algorithm = Greedy_poly) params g =
+type options = {
+  order : Engine.order option;
+  batch : int;
+  pool : Exec.Pool.t option;
+}
+
+let default_options = { order = None; batch = 1; pool = None }
+
+let options ?order ?(batch = 1) ?pool () =
+  if batch < 1 then invalid_arg "Spanner.options: batch must be >= 1";
+  { order; batch; pool }
+
+let build ?rng ?(algorithm = Greedy_poly) ?(options = default_options) params g
+    =
   let rng = match rng with Some r -> r | None -> Rng.create ~seed:0x5eed in
   match algorithm with
-  | Greedy_poly -> Poly_greedy.build ~mode:params.mode ~k:params.k ~f:params.f g
-  | Greedy_exponential -> Exp_greedy.build ~mode:params.mode ~k:params.k ~f:params.f g
+  | Greedy_poly ->
+      if options.batch = 1 && options.pool = None then
+        (* The exact historical path (and its poly_greedy.* telemetry):
+           default options change nothing. *)
+        Poly_greedy.build ?order:options.order ~mode:params.mode ~k:params.k
+          ~f:params.f g
+      else
+        (Batch_greedy.build ?order:options.order ?pool:options.pool
+           ~mode:params.mode ~k:params.k ~f:params.f ~batch:options.batch g)
+          .Batch_greedy.selection
+  | Greedy_exponential ->
+      Exp_greedy.build ~mode:params.mode ~k:params.k ~f:params.f g
   | Dinitz_krauthgamer | Baswana_sen_union ->
       Dk11.build rng ~mode:params.mode ~k:params.k ~f:params.f g
 

@@ -25,10 +25,48 @@ type params = {
 (** [stretch params] is [2k - 1] as a float. *)
 val stretch : params -> float
 
-(** [build ?rng ?algorithm params g] constructs an f-fault-tolerant
-    (2k-1)-spanner of [g].  [rng] is required only by randomized
-    algorithms (defaults to a fixed seed). *)
-val build : ?rng:Rng.t -> ?algorithm:algorithm -> params -> Graph.t -> Selection.t
+(** Execution options, threaded through {!build} so every facade caller
+    (CLI, bench, examples) reaches the batched/parallel greedy without
+    dropping to {!Batch_greedy} directly.
+
+    - [order]: edge processing order for the greedy family ([None] = the
+      algorithm's default, nondecreasing weight);
+    - [batch]: decision block size ([1] = the fully sequential greedy);
+    - [pool]: a persistent {!Exec.Pool.t} the per-batch decision phase
+      fans out over.
+
+    Only [Greedy_poly] consumes them today: [batch > 1] or a [pool]
+    routes the build through [Batch_greedy.build] (whose selection is
+    bit-identical at every domain count for a fixed [batch], but grows
+    with [batch] — the E12 trade-off); the defaults reproduce the
+    historical [Poly_greedy.build] path exactly, telemetry included.
+    The randomized algorithms ignore the options. *)
+type options = {
+  order : Engine.order option;
+  batch : int;
+  pool : Exec.Pool.t option;
+}
+
+(** [default_options] is [{order = None; batch = 1; pool = None}] — the
+    sequential build. *)
+val default_options : options
+
+(** [options ?order ?batch ?pool ()] builds an options record from the
+    defaults.  Raises [Invalid_argument] if [batch < 1]. *)
+val options :
+  ?order:Engine.order -> ?batch:int -> ?pool:Exec.Pool.t -> unit -> options
+
+(** [build ?rng ?algorithm ?options params g] constructs an
+    f-fault-tolerant (2k-1)-spanner of [g].  [rng] is required only by
+    randomized algorithms (defaults to a fixed seed); [options] defaults
+    to {!default_options} (the sequential build). *)
+val build :
+  ?rng:Rng.t ->
+  ?algorithm:algorithm ->
+  ?options:options ->
+  params ->
+  Graph.t ->
+  Selection.t
 
 type summary = {
   algorithm : string;

@@ -79,6 +79,11 @@ let check_under_fault sel ~stretch fault =
   done;
   !found
 
+(* One fault's evaluation touches only freshly allocated masks and
+   BFS/Dijkstra arrays plus read-only graph state, so a battery of faults
+   is embarrassingly parallel: results land by fault index, making the
+   parallel sweep bit-identical to the sequential one (Exec's determinism
+   contract). *)
 let max_stretch_under_fault sel fault =
   let g, bv, be, h_blocked = fault_context sel fault in
   let unit_graph = Graph.is_unit_weighted g in
@@ -101,6 +106,19 @@ let max_stretch_under_fault sel fault =
   done;
   !worst
 
+let max_stretch_many ?pool sel faults =
+  let n = Array.length faults in
+  let out = Array.make n 1.0 in
+  let body ~worker:_ lo hi =
+    for i = lo to hi - 1 do
+      out.(i) <- max_stretch_under_fault sel faults.(i)
+    done
+  in
+  (match pool with
+  | None -> if n > 0 then body ~worker:0 0 n
+  | Some pool -> Exec.parallel_for pool ~lo:0 ~hi:n body);
+  out
+
 type profile = {
   samples : int;
   mean : float;
@@ -116,20 +134,21 @@ let pp_profile ppf p =
     (if p.worst = infinity then "inf" else Printf.sprintf "%.3f" p.worst)
     p.disconnections
 
-let stretch_profile rng sel ~mode ~f ~trials =
+let stretch_profile ?pool rng sel ~mode ~f ~trials =
   if trials < 1 then invalid_arg "Verify.stretch_profile: trials must be >= 1";
   let g = sel.Selection.source in
-  let values = Array.make trials 1.0 in
-  let disconnections = ref 0 in
+  (* Faults are drawn sequentially (index order) so the rng stream — and
+     with it every profile figure — is identical with and without a
+     pool; only the stretch evaluations fan out. *)
+  let faults = Array.make trials (Fault.empty mode) in
   for i = 0 to trials - 1 do
-    let fault =
-      if i mod 2 = 0 then Fault.random rng mode g ~f
-      else Fault.random_adversarial rng mode g ~f
-    in
-    let s = max_stretch_under_fault sel fault in
-    values.(i) <- s;
-    if s = infinity then incr disconnections
+    faults.(i) <-
+      (if i mod 2 = 0 then Fault.random rng mode g ~f
+       else Fault.random_adversarial rng mode g ~f)
   done;
+  let values = max_stretch_many ?pool sel faults in
+  let disconnections = ref 0 in
+  Array.iter (fun s -> if s = infinity then incr disconnections) values;
   Array.sort compare values;
   let finite = Array.to_list values |> List.filter (fun v -> v < infinity) in
   let mean =
@@ -172,14 +191,43 @@ let check_exhaustive ?(max_sets = 2e6) sel ~mode ~stretch ~f =
          max_sets);
   run_faults sel ~stretch (fun fn -> Fault.enumerate mode g ~f fn)
 
-let check_random rng sel ~mode ~stretch ~f ~trials =
-  run_faults sel ~stretch (fun fn ->
-      for _ = 1 to trials do
-        fn (Fault.random rng mode sel.Selection.source ~f)
-      done)
+(* Parallel flavour of [run_faults] for a pre-drawn battery: every fault
+   is evaluated (results by index), then the report is read off in sample
+   order, so [checked] and the reported violation match what the
+   sequential early-exit scan would have produced. *)
+let run_fault_battery pool sel ~stretch faults =
+  let n = Array.length faults in
+  let found = Array.make n None in
+  Exec.parallel_for pool ~lo:0 ~hi:n (fun ~worker:_ lo hi ->
+      for i = lo to hi - 1 do
+        found.(i) <- check_under_fault sel ~stretch faults.(i)
+      done);
+  let rec first i =
+    if i >= n then { checked = n; violation = None }
+    else
+      match found.(i) with
+      | Some _ as v -> { checked = i + 1; violation = v }
+      | None -> first (i + 1)
+  in
+  first 0
 
-let check_adversarial rng sel ~mode ~stretch ~f ~trials =
-  run_faults sel ~stretch (fun fn ->
-      for _ = 1 to trials do
-        fn (Fault.random_adversarial rng mode sel.Selection.source ~f)
-      done)
+let check_sampled ?pool draw rng sel ~stretch ~trials =
+  match pool with
+  | None -> run_faults sel ~stretch (fun fn -> for _ = 1 to trials do fn (draw rng) done)
+  | Some _ when trials < 1 -> { checked = 0; violation = None }
+  | Some pool ->
+      let faults = Array.make trials (draw rng) in
+      for i = 1 to trials - 1 do
+        faults.(i) <- draw rng
+      done;
+      run_fault_battery pool sel ~stretch faults
+
+let check_random ?pool rng sel ~mode ~stretch ~f ~trials =
+  check_sampled ?pool
+    (fun rng -> Fault.random rng mode sel.Selection.source ~f)
+    rng sel ~stretch ~trials
+
+let check_adversarial ?pool rng sel ~mode ~stretch ~f ~trials =
+  check_sampled ?pool
+    (fun rng -> Fault.random_adversarial rng mode sel.Selection.source ~f)
+    rng sel ~stretch ~trials

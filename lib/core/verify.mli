@@ -14,7 +14,18 @@
     - {!check_random}: uniform fault sets, plus
     - {!check_adversarial}: fault sets packed around a single edge's
       neighborhood, which is what actually breaks non-fault-tolerant
-      spanners in practice. *)
+      spanners in practice.
+
+    Fault batteries are embarrassingly parallel — one fault's evaluation
+    touches only freshly allocated masks and BFS arrays over the
+    read-only source graph — so the samplers and {!max_stretch_many}
+    accept an [?pool] ({!Exec.Pool.t}) to fan the sweep out over domains.
+    Faults are always drawn from the rng in sample order and results are
+    recorded by index, so every figure a parallel run reports is
+    identical to the sequential run's; the one observable difference is
+    that a parallel battery evaluates {e every} sampled fault even when
+    an early one already violates (the report still counts to the first
+    violation in sample order). *)
 
 type violation = {
   fault : Fault.t;
@@ -49,14 +60,17 @@ val check_exhaustive :
   f:int ->
   report
 
-(** [check_random rng sel ~mode ~stretch ~f ~trials] samples uniform fault
-    sets. *)
+(** [check_random ?pool rng sel ~mode ~stretch ~f ~trials] samples uniform
+    fault sets. *)
 val check_random :
+  ?pool:Exec.Pool.t ->
   Rng.t -> Selection.t -> mode:Fault.mode -> stretch:float -> f:int -> trials:int -> report
 
-(** [check_adversarial rng sel ~mode ~stretch ~f ~trials] samples fault sets
-    concentrated around random edges (see {!Fault.random_adversarial}). *)
+(** [check_adversarial ?pool rng sel ~mode ~stretch ~f ~trials] samples
+    fault sets concentrated around random edges (see
+    {!Fault.random_adversarial}). *)
 val check_adversarial :
+  ?pool:Exec.Pool.t ->
   Rng.t -> Selection.t -> mode:Fault.mode -> stretch:float -> f:int -> trials:int -> report
 
 (** Aggregate stretch statistics over sampled fault sets. *)
@@ -72,11 +86,12 @@ type profile = {
 
 val pp_profile : Format.formatter -> profile -> unit
 
-(** [stretch_profile rng sel ~mode ~f ~trials] samples [trials] fault sets
-    (alternating uniform and adversarial) and aggregates
+(** [stretch_profile ?pool rng sel ~mode ~f ~trials] samples [trials]
+    fault sets (alternating uniform and adversarial) and aggregates
     {!max_stretch_under_fault} over them — the empirical counterpart of
     the worst-case stretch guarantee. *)
 val stretch_profile :
+  ?pool:Exec.Pool.t ->
   Rng.t -> Selection.t -> mode:Fault.mode -> f:int -> trials:int -> profile
 
 (** [max_stretch_under_fault sel fault] measures the worst ratio
@@ -84,3 +99,11 @@ val stretch_profile :
     (1.0 when every surviving edge is kept; [infinity] if some pair is
     disconnected in [H\F] but connected in [G\F]). *)
 val max_stretch_under_fault : Selection.t -> Fault.t -> float
+
+(** [max_stretch_many ?pool sel faults] is
+    [Array.map (max_stretch_under_fault sel) faults], fanned out over
+    [pool] when given — the bulk battery behind [ftspan verify --jobs]
+    and the fault-injection example.  [faults.(i)]'s stretch lands at
+    index [i], so the result is independent of the domain count. *)
+val max_stretch_many :
+  ?pool:Exec.Pool.t -> Selection.t -> Fault.t array -> float array

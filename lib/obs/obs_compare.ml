@@ -21,6 +21,18 @@ let scale s t =
     counter_rel = s *. t.counter_rel;
   }
 
+(* Scheduling-dependent series: [pool.*] counters (tasks, steals,
+   per-worker busy shares) depend on which worker claimed which chunk,
+   which varies run to run and with the jobs count.  The algorithm
+   counters next to them ARE deterministic, so the gate excludes exactly
+   this prefix instead of loosening every counter tolerance. *)
+let scheduling_prefixes = [ "pool." ]
+
+let scheduling_dependent name =
+  List.exists
+    (fun prefix -> String.starts_with ~prefix name)
+    scheduling_prefixes
+
 (* ---------------------- report destructuring ------------------------ *)
 
 type entry_view = {
@@ -88,27 +100,31 @@ let compare_entry tol (b : entry_view) (r : entry_view) =
     }
   in
   let counters =
-    List.map
+    List.filter_map
       (fun (name, bv) ->
-        match List.assoc_opt name r.ev_counters with
-        | None ->
-            {
-              entry = b.ev_id; metric = name; base_v = Some bv; run_v = None;
-              limit = nan; verdict = Missing;
-            }
-        | Some rv ->
-            let limit = bv *. (1. +. tol.counter_rel) in
-            {
-              entry = b.ev_id; metric = name; base_v = Some bv;
-              run_v = Some rv; limit;
-              verdict = judge ~base:bv ~limit ~run:rv;
-            })
+        if scheduling_dependent name then None
+        else
+          Some
+            (match List.assoc_opt name r.ev_counters with
+            | None ->
+                {
+                  entry = b.ev_id; metric = name; base_v = Some bv;
+                  run_v = None; limit = nan; verdict = Missing;
+                }
+            | Some rv ->
+                let limit = bv *. (1. +. tol.counter_rel) in
+                {
+                  entry = b.ev_id; metric = name; base_v = Some bv;
+                  run_v = Some rv; limit;
+                  verdict = judge ~base:bv ~limit ~run:rv;
+                }))
       b.ev_counters
   in
   let fresh =
     List.filter_map
       (fun (name, rv) ->
-        if List.mem_assoc name b.ev_counters then None
+        if List.mem_assoc name b.ev_counters || scheduling_dependent name then
+          None
         else
           Some
             {

@@ -8,6 +8,14 @@
     absolute floor (sub-noise timings never fail).  Improvements never
     fail — the gate is one-sided.
 
+    One carve-out: [pool.*] counters (the {!Exec} domain-pool's tasks,
+    steals, and per-worker busy shares) are scheduling-dependent — they
+    vary with the jobs count and the steal order — so the comparison
+    skips them entirely, in both documents.  Everything else on a
+    parallel entry (e.g. [greedy-parallel]'s [lbc.*] series) stays under
+    the tight counter tolerance, which is exactly the determinism
+    contract of [Exec.parallel_for].
+
     [bench/compare.exe] is the CLI over this module; the [@bench-compare]
     and [@obs-check] dune aliases run it against [BENCH_BASELINE.json]. *)
 
@@ -40,6 +48,11 @@ val default_tolerances : tolerances
 (** [scale s t] multiplies every slack in [t] by [s] (the [--slack]
     flag; [@obs-check] uses [scale 2.]). *)
 val scale : float -> tolerances -> tolerances
+
+(** [scheduling_dependent name] is true iff [name] belongs to a metric
+    series the gate ignores because its value depends on runtime
+    scheduling rather than the algorithm (currently the [pool.] prefix). *)
+val scheduling_dependent : string -> bool
 
 (** [compare_reports ?tol base run] matches the two documents (baseline
     first) and returns one finding per compared metric, grouped by

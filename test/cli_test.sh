@@ -51,6 +51,23 @@ fi
 "$BIN" verify -k 2 -f 1 --exhaustive "$TMP/s.graph" "$TMP/pruned.txt" \
   | grep -q "OK" || fail "pruned selection stays valid"
 
+# --jobs: a pooled build must produce the bit-identical selection (the
+# Exec.parallel_for determinism contract), and the parallel verify
+# batteries the same verdict.  --batch is pinned: its default flips to
+# 512 when jobs > 1, which intentionally changes the spanner.
+"$BIN" build -k 2 -f 1 --jobs 1 --batch 64 "$TMP/g.graph" -o "$TMP/sel-seq.txt" \
+  >/dev/null || fail "build --jobs 1"
+"$BIN" build -k 2 -f 1 -j 2 --batch 64 "$TMP/g.graph" -o "$TMP/sel-par.txt" \
+  >/dev/null || fail "build -j 2"
+cmp -s "$TMP/sel-seq.txt" "$TMP/sel-par.txt" \
+  || fail "-j 2 selection must be bit-identical to --jobs 1"
+"$BIN" verify -k 2 -f 1 -j 2 --trials 40 "$TMP/g.graph" "$TMP/sel-par.txt" \
+  | grep -q "OK" || fail "verify -j 2"
+"$BIN" build -k 2 -f 1 --jobs 0 "$TMP/g.graph" >/dev/null 2>&1 \
+  && fail "jobs=0 accepted"
+"$BIN" build -k 2 -f 1 -j 2 --batch 0 "$TMP/g.graph" >/dev/null 2>&1 \
+  && fail "batch=0 accepted"
+
 # dot export
 "$BIN" build -k 2 -f 1 "$TMP/s.graph" --dot "$TMP/s.dot" >/dev/null || fail "build --dot"
 grep -q "graph ftspan" "$TMP/s.dot" || fail "dot output malformed"
@@ -107,6 +124,15 @@ grep -q '"schema": "ftspan.metrics.v1"' "$TMP/bench-empty.json" \
   || fail "empty bench report schema tag"
 grep -q '"entries": \[\]' "$TMP/bench-empty.json" \
   || fail "empty bench report must have an empty entries array"
+
+# bench --jobs: the parallel smoke entry runs on a 2-worker pool and its
+# metrics document still carries the entry (pool.* series are skipped by
+# the comparison, not by the report)
+"$BENCH" --jobs 2 --smoke --match greedy-parallel \
+  --json "$TMP/bench-jobs.json" >/dev/null || fail "bench --jobs 2"
+grep -q '"id": "greedy-parallel"' "$TMP/bench-jobs.json" \
+  || fail "bench --jobs must run greedy-parallel"
+"$BENCH" --jobs 0 --smoke >/dev/null 2>&1 && fail "bench jobs=0 accepted"
 
 # bench regression gate: a fresh smoke run passes against the checked-in
 # baseline (generous slack: counters are deterministic, wall time is not)...

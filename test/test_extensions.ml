@@ -316,12 +316,29 @@ let test_batch_parallel_matches_sequential () =
   List.iter
     (fun (batch, domains) ->
       let seq = Batch_greedy.build ~mode:Fault.VFT ~k:2 ~f:2 ~batch g in
-      let par = Batch_greedy.build_parallel ~mode:Fault.VFT ~k:2 ~f:2 ~batch ~domains g in
+      let par =
+        Exec.Pool.with_pool ~domains (fun pool ->
+            Batch_greedy.build ~pool ~mode:Fault.VFT ~k:2 ~f:2 ~batch g)
+      in
       check (Alcotest.list Alcotest.int)
         (Printf.sprintf "batch=%d domains=%d" batch domains)
         (Selection.ids seq.Batch_greedy.selection)
         (Selection.ids par.Batch_greedy.selection))
     [ (8, 2); (64, 3); (1000, 4) ]
+
+(* The deprecated per-call-spawn wrapper must keep compiling and keep
+   producing the sequential selection until it is removed. *)
+let test_batch_parallel_deprecated_wrapper () =
+  let r = rng () in
+  let g = Generators.connected_gnp r ~n:40 ~p:0.3 in
+  let seq = Batch_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 ~batch:16 g in
+  let par =
+    (Batch_greedy.build_parallel [@alert "-deprecated"])
+      ~mode:Fault.VFT ~k:2 ~f:1 ~batch:16 ~domains:2 g
+  in
+  check (Alcotest.list Alcotest.int) "deprecated wrapper matches"
+    (Selection.ids seq.Batch_greedy.selection)
+    (Selection.ids par.Batch_greedy.selection)
 
 let test_batch_rejects_bad_batch () =
   let g = Generators.cycle 4 in
@@ -375,6 +392,7 @@ let () =
           Alcotest.test_case "size monotone" `Quick test_batch_size_monotone_tendency;
           Alcotest.test_case "weighted valid" `Quick test_batch_weighted_valid;
           Alcotest.test_case "parallel = sequential" `Quick test_batch_parallel_matches_sequential;
+          Alcotest.test_case "deprecated wrapper" `Quick test_batch_parallel_deprecated_wrapper;
           Alcotest.test_case "bad batch" `Quick test_batch_rejects_bad_batch;
         ] );
     ]

@@ -787,6 +787,27 @@ let smoke_distributed () =
   row "  CONGEST: %4d rounds, |H| = %d/%d" res2.Congest_ft.total_rounds
     res2.Congest_ft.selection.Selection.size (Graph.m g2)
 
+let smoke_synchronizer_lossy () =
+  banner
+    "synchronizer-lossy - alpha synchronizer over a lossy network \
+     (drop=0.15, dup=0.05, reliable delivery)";
+  let rng = Rng.create ~seed in
+  let g = Generators.connected_gnp rng ~n:48 ~p:0.15 in
+  let skel = Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 g in
+  let clean =
+    Synchronizer.run (Rng.create ~seed:5) ~pulses:6 ~skeleton:skel g
+  in
+  let chaos = Chaos.plan ~drop:0.15 ~dup:0.05 ~seed:7 () in
+  let lossy =
+    Synchronizer.run (Rng.create ~seed:5) ~chaos ~pulses:6 ~skeleton:skel g
+  in
+  row "  clean: %4d messages, %d pulses" clean.Synchronizer.messages
+    clean.Synchronizer.pulses;
+  row "  lossy: %4d messages (%d retransmits), %d pulses, %s"
+    lossy.Synchronizer.messages lossy.Synchronizer.retransmits
+    lossy.Synchronizer.pulses
+    (verdict (lossy.Synchronizer.pulses = clean.Synchronizer.pulses))
+
 let greedy_parallel () =
   let jobs = Exec.default_jobs () in
   banner
@@ -814,6 +835,7 @@ let smoke =
     ("smoke-greedy", smoke_greedy);
     ("smoke-distributed", smoke_distributed);
     ("greedy-parallel", greedy_parallel);
+    ("synchronizer-lossy", smoke_synchronizer_lossy);
   ]
 
 let all =

@@ -124,6 +124,27 @@ let with_trace trace f =
             (Obs_trace.seen ()) (Obs_trace.dropped ()))
         f
 
+let chaos_arg =
+  let doc =
+    "Inject network faults into the simulator and mask them with the \
+     reliable-delivery protocol.  $(docv) is a comma-separated list of \
+     KEY=VALUE pairs: $(b,drop)=P, $(b,dup)=P, $(b,reorder)=R (max round \
+     lag), $(b,spike)=P, $(b,spikex)=F (delay multiplier), $(b,seed)=N \
+     (fault-stream seed), $(b,crash)=V@T, $(b,recover)=V@T.  The fault \
+     stream is private to the plan, so the spanner selection matches the \
+     chaos-free run; retransmissions show up in the $(b,net.retries) \
+     counter under $(b,--metrics)."
+  in
+  let plan_conv =
+    Arg.conv
+      ( (fun s ->
+          match Chaos.parse_spec s with
+          | Ok plan -> Ok plan
+          | Error msg -> Error (`Msg msg)),
+        Chaos.pp_plan )
+  in
+  Arg.(value & opt (some plan_conv) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+
 (* --------------------------- generate -------------------------------- *)
 
 let family_arg =
@@ -390,13 +411,13 @@ let verify_cmd =
 (* ----------------------------- local ---------------------------------- *)
 
 let local_cmd =
-  let run seed k f mode metrics trace file =
+  let run seed k f mode chaos metrics trace file =
     Result.map
       (fun g ->
         with_metrics metrics ~id:"local" @@ fun () ->
         with_trace trace @@ fun () ->
         let rng = Rng.create ~seed in
-        let res = Local_spanner.build rng ~mode ~k ~f g in
+        let res = Local_spanner.build rng ?chaos ~mode ~k ~f g in
         let d = res.Local_spanner.decomposition in
         Printf.printf "partitions: %d, coverage: %.1f%%, max cluster depth: %d\n"
           (Array.length d.Decomposition.partitions)
@@ -417,8 +438,8 @@ let local_cmd =
   let term =
     Term.(
       term_result
-        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ metrics_arg
-       $ trace_arg $ graph_arg))
+        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ chaos_arg
+       $ metrics_arg $ trace_arg $ graph_arg))
   in
   Cmd.v
     (Cmd.info "local" ~doc:"Run the LOCAL-model construction (Theorem 12).")
@@ -431,13 +452,13 @@ let c_arg =
   Arg.(value & opt float 1.0 & info [ "c" ] ~docv:"C" ~doc)
 
 let congest_cmd =
-  let run seed k f mode c metrics trace file =
+  let run seed k f mode c chaos metrics trace file =
     Result.map
       (fun g ->
         with_metrics metrics ~id:"congest" @@ fun () ->
         with_trace trace @@ fun () ->
         let rng = Rng.create ~seed in
-        let res = Congest_ft.build rng ~c ~mode ~k ~f g in
+        let res = Congest_ft.build rng ~c ?chaos ~mode ~k ~f g in
         Printf.printf "iterations: %d (word size %d bits)\n" res.Congest_ft.iterations
           res.Congest_ft.word_bits;
         Printf.printf "rounds: %d total = %d phase-1 + %d phase-2 (base %d, overlap %d)\n"
@@ -453,8 +474,8 @@ let congest_cmd =
   let term =
     Term.(
       term_result
-        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ c_arg $ metrics_arg
-       $ trace_arg $ graph_arg))
+        (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ c_arg $ chaos_arg
+       $ metrics_arg $ trace_arg $ graph_arg))
   in
   Cmd.v
     (Cmd.info "congest" ~doc:"Run the CONGEST-model construction (Theorem 15).")

@@ -3,6 +3,10 @@
    paper's construction enables.
 
    Run with:  dune exec examples/synchronizer_demo.exe
+   Optionally pass --chaos SPEC (e.g. --chaos drop=0.2,dup=0.05) to run
+   the same workload over an unreliable network: the reliable-delivery
+   layer retransmits until every safety message lands, so the pulses
+   still complete - at a message premium the table makes visible.
 
    An asynchronous network emulates synchronous pulses with an alpha
    synchronizer: a node advances once all its skeleton neighbors reported
@@ -14,11 +18,30 @@
    We run the same 10-pulse workload over four skeletons, then repeat it
    with two crashed routers. *)
 
+let parse_chaos_argv () =
+  let rec go = function
+    | [] -> None
+    | "--chaos" :: spec :: _ -> (
+        match Chaos.parse_spec spec with
+        | Ok plan -> Some plan
+        | Error msg ->
+            prerr_endline msg;
+            exit 2)
+    | _ :: rest -> go rest
+  in
+  go (Array.to_list Sys.argv)
+
 let () =
+  let chaos = parse_chaos_argv () in
   let rng = Rng.create ~seed:33 in
   let g = Generators.connected_gnp rng ~n:120 ~p:0.08 in
   Printf.printf "network: n=%d m=%d, 10 pulses, async delays U[0.1, 1.0]\n"
     (Graph.n g) (Graph.m g);
+  (match chaos with
+  | None -> ()
+  | Some plan ->
+      Printf.printf "chaos: %s (reliable delivery armed)\n"
+        (Format.asprintf "%a" Chaos.pp_plan plan));
 
   (* Skeleton candidates. *)
   let bfs_tree =
@@ -43,15 +66,18 @@ let () =
 
   let show ?failures title =
     Printf.printf "\n[%s]\n" title;
-    Printf.printf "%-30s %8s %10s %8s %8s %10s\n" "skeleton" "edges" "messages"
-      "pulses" "skew" "connected";
+    Printf.printf "%-30s %8s %10s %8s %8s %10s %8s\n" "skeleton" "edges"
+      "messages" "pulses" "skew" "connected" "retrans";
     List.iter
       (fun (name, skel) ->
-        let rep = Synchronizer.run (Rng.create ~seed:5) ?failures ~pulses:10 ~skeleton:skel g in
-        Printf.printf "%-30s %8d %10d %8d %8.2f %10b\n" name
+        let rep =
+          Synchronizer.run (Rng.create ~seed:5) ?failures ?chaos ~pulses:10
+            ~skeleton:skel g
+        in
+        Printf.printf "%-30s %8d %10d %8d %8.2f %10b %8d\n" name
           rep.Synchronizer.skeleton_edges rep.Synchronizer.messages
           rep.Synchronizer.pulses rep.Synchronizer.max_skew
-          rep.Synchronizer.survivors_connected)
+          rep.Synchronizer.survivors_connected rep.Synchronizer.retransmits)
       skeletons
   in
 

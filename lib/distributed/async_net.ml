@@ -3,6 +3,7 @@ type t = {
   rng : Rng.t;
   min_delay : float;
   max_delay : float;
+  chaos : Chaos.state option;
   queue : Pqueue.t;
   mutable handlers : (unit -> unit) array;
   mutable handler_count : int;
@@ -12,7 +13,7 @@ type t = {
 
 let nop () = ()
 
-let create rng ?(min_delay = 0.1) ?(max_delay = 1.0) g =
+let create rng ?(min_delay = 0.1) ?(max_delay = 1.0) ?chaos g =
   if min_delay < 0. || max_delay < min_delay then
     invalid_arg "Async_net.create: need 0 <= min_delay <= max_delay";
   {
@@ -20,6 +21,7 @@ let create rng ?(min_delay = 0.1) ?(max_delay = 1.0) g =
     rng;
     min_delay;
     max_delay;
+    chaos;
     queue = Pqueue.create ~capacity:64;
     handlers = Array.make 64 nop;
     handler_count = 0;
@@ -29,6 +31,7 @@ let create rng ?(min_delay = 0.1) ?(max_delay = 1.0) g =
 
 let now net = net.clock
 let messages net = net.sent
+let max_delay net = net.max_delay
 
 let push net ~time handler =
   if net.handler_count = Array.length net.handlers then begin
@@ -51,10 +54,31 @@ let send net ~src ~dst handler =
   | None ->
       invalid_arg (Printf.sprintf "Async_net.send: %d and %d are not adjacent" src dst));
   net.sent <- net.sent + 1;
-  let delay =
+  let draw_delay () =
     net.min_delay +. Rng.float net.rng (net.max_delay -. net.min_delay +. 1e-12)
   in
-  push net ~time:(net.clock +. delay) handler
+  match net.chaos with
+  | None -> push net ~time:(net.clock +. draw_delay ()) handler
+  | Some ch ->
+      if Chaos.crashed ch ~node:src ~time:net.clock then
+        Chaos.count_crash_drop ch ~src ~dst
+      else begin
+        (* Each copy: drop, or deliver after the base delay — stretched by
+           a spike — unless the destination is down at arrival time.  The
+           delay still comes from the {e network's} generator; only the
+           fault choices consume the chaos stream. *)
+        let deliver_copy () =
+          if not (Chaos.draw_drop ch ~src ~dst) then begin
+            let delay = draw_delay () *. Chaos.draw_spike ch ~src ~dst in
+            let time = net.clock +. delay in
+            if Chaos.crashed ch ~node:dst ~time then
+              Chaos.count_crash_drop ch ~src ~dst
+            else push net ~time handler
+          end
+        in
+        deliver_copy ();
+        if Chaos.draw_dup ch ~src ~dst then deliver_copy ()
+      end
 
 let run ?(until = infinity) ?(max_events = max_int) net =
   let processed = ref 0 in

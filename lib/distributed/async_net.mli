@@ -16,14 +16,26 @@
 type t
 
 (** [create rng ?min_delay ?max_delay g] builds an idle network over [g]
-    (defaults: delays uniform in [[0.1, 1.0]]). *)
-val create : Rng.t -> ?min_delay:float -> ?max_delay:float -> Graph.t -> t
+    (defaults: delays uniform in [[0.1, 1.0]]).  [chaos] makes delivery
+    unreliable: each message is independently dropped or duplicated, delay
+    spikes stretch the drawn delay, and crashed nodes neither send nor
+    receive (see {!Chaos}).  Fault draws consume the chaos plan's private
+    stream, never [rng], so a fault-masked run replays the same delays as
+    a fault-free one.  {!messages} still counts every {!send} — offered
+    load, like {!Net.stats}. *)
+val create :
+  Rng.t -> ?min_delay:float -> ?max_delay:float -> ?chaos:Chaos.state ->
+  Graph.t -> t
 
 (** [now net] is the current simulation time. *)
 val now : t -> float
 
 (** [messages net] counts messages sent so far. *)
 val messages : t -> int
+
+(** [max_delay net] is the network's maximum single-hop delay — the base
+    for retransmission timeouts in {!Reliable.Async}. *)
+val max_delay : t -> float
 
 (** [send net ~src ~dst handler] sends one message along the edge
     [{src,dst}] (must exist); [handler] runs at the delivery time.

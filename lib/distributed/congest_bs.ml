@@ -14,7 +14,7 @@ let word_bits_for n =
   let rec bits x acc = if x = 0 then acc else bits (x lsr 1) (acc + 1) in
   bits (max 1 n) 0 + 1
 
-let build rng ?word_bits ?(record_history = false) ~k g =
+let build rng ?word_bits ?(record_history = false) ?chaos ~k g =
   if k < 1 then invalid_arg "Congest_bs.build: k must be >= 1";
   let n = Graph.n g in
   let w = match word_bits with Some b -> b | None -> 4 * word_bits_for n in
@@ -22,7 +22,7 @@ let build rng ?word_bits ?(record_history = false) ~k g =
     | Sampled_bit _ | Announce _ -> 2 * word_bits_for n
     | Kill -> 1
   in
-  let net = Net.create ~record_history ~model:(Net.Congest w) ~bits g in
+  let net = Reliable.create ~record_history ?chaos ~model:(Net.Congest w) ~bits g in
   let m = Graph.m g in
   let selected = Array.make m false in
   let alive = Array.make m true in
@@ -42,10 +42,10 @@ let build rng ?word_bits ?(record_history = false) ~k g =
   let announce_round sampled_known =
     for v = 0 to n - 1 do
       if center.(v) >= 0 then
-        Net.broadcast net ~src:v
+        Reliable.broadcast net ~src:v
           (Announce { center = center.(v); sampled = sampled_known.(v) })
     done;
-    Net.next_round net;
+    Reliable.next_round net;
     let view_center = Array.make n (-1) and view_sampled = Array.make n false in
     (* views are indexed by the *sender*: center/sampledness as last
        announced.  Every vertex receives the same announcement from a
@@ -58,7 +58,7 @@ let build rng ?word_bits ?(record_history = false) ~k g =
               view_center.(sender) <- c;
               view_sampled.(sender) <- sampled
           | Sampled_bit _ | Kill -> ())
-        (Net.inbox net v)
+        (Reliable.inbox net v)
     done;
     (view_center, view_sampled)
   in
@@ -69,10 +69,10 @@ let build rng ?word_bits ?(record_history = false) ~k g =
       (fun (v, y, id) ->
         if alive.(id) then begin
           alive.(id) <- false;
-          Net.send net ~src:v ~dst:y Kill
+          Reliable.send net ~src:v ~dst:y Kill
         end)
       to_kill;
-    Net.next_round net
+    Reliable.next_round net
   in
 
   for phase = 1 to k - 1 do
@@ -92,10 +92,10 @@ let build rng ?word_bits ?(record_history = false) ~k g =
     for _r = 1 to phase do
       for v = 0 to n - 1 do
         if knows.(v) && center.(v) >= 0 then
-          Net.broadcast net ~src:v
+          Reliable.broadcast net ~src:v
             (Sampled_bit { center = center.(v); sampled = sampled_known.(v) })
       done;
-      Net.next_round net;
+      Reliable.next_round net;
       for v = 0 to n - 1 do
         if (not knows.(v)) && center.(v) >= 0 then
           List.iter
@@ -106,7 +106,7 @@ let build rng ?word_bits ?(record_history = false) ~k g =
                   knows.(v) <- true;
                   sampled_known.(v) <- sampled
               | Sampled_bit _ | Announce _ | Kill -> ())
-            (Net.inbox net v)
+            (Reliable.inbox net v)
       done
     done;
 
@@ -214,10 +214,10 @@ let build rng ?word_bits ?(record_history = false) ~k g =
   done;
   kill_round !to_kill;
 
-  let stats = Net.stats net in
+  let stats = Reliable.stats net in
   {
     selection = Selection.of_mask g selected;
     rounds = stats.Net.rounds;
     stats;
-    history = Net.history net;
+    history = Reliable.history net;
   }

@@ -32,7 +32,17 @@ type result = {
       (** per round: [(edge, direction, bits)] — empty unless recorded *)
 }
 
-(** [build rng ?word_bits ?record_history ~k g] runs the algorithm.
-    [word_bits] is the CONGEST message capacity (default:
-    [4 * (ceil log2 n + 1)], i.e. a constant number of vertex ids). *)
-val build : Rng.t -> ?word_bits:int -> ?record_history:bool -> k:int -> Graph.t -> result
+(** [build rng ?word_bits ?record_history ?chaos ~k g] runs the
+    algorithm.  [word_bits] is the CONGEST message capacity (default:
+    [4 * (ceil log2 n + 1)], i.e. a constant number of vertex ids).
+    [chaos] injects network faults, masked by the {!Reliable} protocol:
+    the selection is unchanged, while [rounds]/[stats]/[history] reflect
+    the retransmission traffic. *)
+val build :
+  Rng.t ->
+  ?word_bits:int ->
+  ?record_history:bool ->
+  ?chaos:Chaos.plan ->
+  k:int ->
+  Graph.t ->
+  result

@@ -13,7 +13,7 @@ let bits_needed x =
   let rec go v acc = if v = 0 then max 1 acc else go (v lsr 1) (acc + 1) in
   go (max 1 x) 0
 
-let build rng ?(c = 1.0) ?word_bits ~mode ~k ~f g =
+let build rng ?(c = 1.0) ?word_bits ?chaos ~mode ~k ~f g =
   if k < 1 then invalid_arg "Congest_ft.build: k must be >= 1";
   if f < 0 then invalid_arg "Congest_ft.build: f must be >= 0";
   Obs.with_span "congest_ft.build" @@ fun () ->
@@ -89,8 +89,8 @@ let build rng ?(c = 1.0) ?word_bits ~mode ~k ~f g =
     in
     if Graph.n sub.Subgraph.graph > 1 then begin
       let inst =
-        Congest_bs.build (Rng.split rng) ~word_bits:word ~record_history:true ~k
-          sub.Subgraph.graph
+        Congest_bs.build (Rng.split rng) ~word_bits:word ~record_history:true
+          ?chaos ~k sub.Subgraph.graph
       in
       Array.iteri
         (fun sid chosen ->

@@ -35,12 +35,16 @@ type result = {
   word_bits : int;  (** CONGEST capacity used *)
 }
 
-(** [build rng ?c ?word_bits ~mode ~k ~f g] runs the construction.
-    [c] is the DK11 iteration constant (default 1.0). *)
+(** [build rng ?c ?word_bits ?chaos ~mode ~k ~f g] runs the construction.
+    [c] is the DK11 iteration constant (default 1.0).  [chaos] makes
+    every instance's network unreliable; the {!Reliable} protocol masks
+    the faults, so the selection is unchanged while the recorded loads
+    include retransmission traffic. *)
 val build :
   Rng.t ->
   ?c:float ->
   ?word_bits:int ->
+  ?chaos:Chaos.plan ->
   mode:Fault.mode ->
   k:int ->
   f:int ->

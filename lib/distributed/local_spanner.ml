@@ -15,23 +15,23 @@ type payload = { partition : int; edge_ids : int list }
 
 let payload_bits p = 64 * (2 + List.length p.edge_ids)
 
-let build rng ?(engine = Polynomial) ?beta ?partitions ~mode ~k ~f g =
+let build rng ?(engine = Polynomial) ?beta ?partitions ?chaos ~mode ~k ~f g =
   Obs.with_span "local_spanner.build" @@ fun () ->
   let decomposition = Decomposition.run rng ?beta ?partitions g in
   let parts = decomposition.Decomposition.partitions in
   let ell = Array.length parts in
   let n = Graph.n g in
   let depth = decomposition.Decomposition.max_depth in
-  let net = Net.create ~model:Net.Local ~bits:payload_bits g in
+  let net = Reliable.create ?chaos ~model:Net.Local ~bits:payload_bits g in
 
   (* Round 0: neighbors exchange cluster ids (all partitions at once; the
      vector fits in one LOCAL message).  We charge one round; the cluster
      comparison below then uses global knowledge, which is exactly what the
      exchanged vectors provide. *)
   for v = 0 to n - 1 do
-    Net.broadcast net ~src:v { partition = -1; edge_ids = [] }
+    Reliable.broadcast net ~src:v { partition = -1; edge_ids = [] }
   done;
-  Net.next_round net;
+  Reliable.next_round net;
 
   (* Convergecast: each vertex starts with its same-cluster incident edges
      (deduplicated by the smaller endpoint) and pushes accumulated ids to
@@ -50,20 +50,20 @@ let build rng ?(engine = Polynomial) ?beta ?partitions ~mode ~k ~f g =
         if c.Decomposition.depth_of.(v) = step then begin
           let parent = c.Decomposition.parent_of.(v) in
           if parent >= 0 && gathered.(p).(v) <> [] then begin
-            Net.send net ~src:v ~dst:parent
+            Reliable.send net ~src:v ~dst:parent
               { partition = p; edge_ids = gathered.(p).(v) };
             gathered.(p).(v) <- []
           end
         end
       done
     done;
-    Net.next_round net;
+    Reliable.next_round net;
     for v = 0 to n - 1 do
       List.iter
         (fun (_, pay) ->
           if pay.partition >= 0 then
             gathered.(pay.partition).(v) <- pay.edge_ids @ gathered.(pay.partition).(v))
-        (Net.inbox net v)
+        (Reliable.inbox net v)
     done
   done;
 
@@ -105,7 +105,7 @@ let build rng ?(engine = Polynomial) ?beta ?partitions ~mode ~k ~f g =
     for p = 0 to ell - 1 do
       for v = 0 to n - 1 do
         if knows.(p).(v) && pending.(p).(v) <> [] then begin
-          Net.broadcast net ~src:v { partition = p; edge_ids = pending.(p).(v) }
+          Reliable.broadcast net ~src:v { partition = p; edge_ids = pending.(p).(v) }
         end
       done
     done;
@@ -115,7 +115,7 @@ let build rng ?(engine = Polynomial) ?beta ?partitions ~mode ~k ~f g =
         if knows.(p).(v) then pending.(p).(v) <- []
       done
     done;
-    Net.next_round net;
+    Reliable.next_round net;
     for v = 0 to n - 1 do
       List.iter
         (fun (sender, pay) ->
@@ -127,11 +127,11 @@ let build rng ?(engine = Polynomial) ?beta ?partitions ~mode ~k ~f g =
               pending.(pay.partition).(v) <- pay.edge_ids
             end
           end)
-        (Net.inbox net v)
+        (Reliable.inbox net v)
     done
   done;
 
-  let stats = Net.stats net in
+  let stats = Reliable.stats net in
   {
     selection = Selection.of_mask g union;
     decomposition;

@@ -30,13 +30,17 @@ type result = {
   stats : Net.stats;  (** gather/scatter traffic (unbounded messages) *)
 }
 
-(** [build rng ?engine ?beta ?partitions ~mode ~k ~f g] runs the LOCAL
-    algorithm end to end on the simulator. *)
+(** [build rng ?engine ?beta ?partitions ?chaos ~mode ~k ~f g] runs the
+    LOCAL algorithm end to end on the simulator.  [chaos] makes the
+    gather/scatter network unreliable; the {!Reliable} protocol masks
+    the faults, so the selection is unchanged while [stats] includes the
+    retransmission traffic. *)
 val build :
   Rng.t ->
   ?engine:engine ->
   ?beta:float ->
   ?partitions:int ->
+  ?chaos:Chaos.plan ->
   mode:Fault.mode ->
   k:int ->
   f:int ->

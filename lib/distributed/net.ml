@@ -29,6 +29,10 @@ type 'msg t = {
   model : model;
   bits : 'msg -> int;
   record_history : bool;
+  chaos : Chaos.state option;
+  (* copies lagging behind their send round (chaos reordering):
+     (rounds still to wait, src, dst, msg), in stable order *)
+  mutable lagging : (int * int * int * 'msg) list;
   mutable staged : (int * 'msg) list array;  (* per destination *)
   mutable delivered : (int * 'msg) list array;
   mutable round : int;
@@ -46,13 +50,15 @@ type 'msg t = {
   mutable bits_mark : int;
 }
 
-let create ?(record_history = false) ~model ~bits g =
+let create ?(record_history = false) ?chaos ~model ~bits g =
   let n = Graph.n g in
   {
     g;
     model;
     bits;
     record_history;
+    chaos;
+    lagging = [];
     staged = Array.make n [];
     delivered = Array.make n [];
     round = 0;
@@ -99,7 +105,28 @@ let send net ~src ~dst msg =
   net.edge_round_bits.(s) <- net.edge_round_bits.(s) + b;
   if net.edge_round_bits.(s) > net.max_edge_round_bits then
     net.max_edge_round_bits <- net.edge_round_bits.(s);
-  net.staged.(dst) <- (src, msg) :: net.staged.(dst)
+  (* Fault injection sits between accounting (the offered load above is
+     what the algorithm sent) and delivery: each copy is independently
+     dropped, duplicated, or delayed by a bounded number of rounds. *)
+  match net.chaos with
+  | None -> net.staged.(dst) <- (src, msg) :: net.staged.(dst)
+  | Some ch ->
+      if Chaos.crashed ch ~node:src ~time:(float_of_int net.round) then
+        Chaos.count_crash_drop ch ~src ~dst
+      else begin
+        let stage_copy () =
+          if not (Chaos.draw_drop ch ~src ~dst) then begin
+            match Chaos.draw_lag ch ~src ~dst with
+            | 0 -> net.staged.(dst) <- (src, msg) :: net.staged.(dst)
+            | lag ->
+                (* countdown counts round transitions: on-time delivery
+                   consumes one, the lag adds [lag] more *)
+                net.lagging <- (lag + 1, src, dst, msg) :: net.lagging
+          end
+        in
+        stage_copy ();
+        if Chaos.draw_dup ch ~src ~dst then stage_copy ()
+      end
 
 let broadcast net ~src msg =
   Graph.iter_neighbors net.g src (fun dst _ -> send net ~src ~dst msg)
@@ -109,6 +136,28 @@ let next_round net =
   net.delivered <- net.staged;
   Array.fill tmp 0 (Array.length tmp) [];
   net.staged <- tmp;
+  (match net.chaos with
+  | None -> ()
+  | Some ch ->
+      let now = float_of_int (net.round + 1) in
+      (* release lagging copies whose delay expired; they join this
+         round's deliveries behind the on-time ones *)
+      let still = ref [] in
+      List.iter
+        (fun (countdown, src, dst, msg) ->
+          if countdown <= 1 then
+            net.delivered.(dst) <- (src, msg) :: net.delivered.(dst)
+          else still := (countdown - 1, src, dst, msg) :: !still)
+        (List.rev net.lagging);
+      net.lagging <- List.rev !still;
+      (* a crashed destination loses everything addressed to it *)
+      Array.iteri
+        (fun dst inbox ->
+          if inbox <> [] && Chaos.crashed ch ~node:dst ~time:now then begin
+            List.iter (fun (src, _) -> Chaos.count_crash_drop ch ~src ~dst) inbox;
+            net.delivered.(dst) <- []
+          end)
+        net.delivered);
   if net.record_history then begin
     let loads =
       List.map

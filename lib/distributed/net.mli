@@ -42,8 +42,20 @@ type 'msg t
 
 (** [create ~model ~bits g] builds an idle network over the topology [g].
     [bits] measures message sizes.  Set [record_history] to retain
-    per-round edge loads (see {!history}). *)
-val create : ?record_history:bool -> model:model -> bits:('msg -> int) -> Graph.t -> 'msg t
+    per-round edge loads (see {!history}).  [chaos] makes the network
+    unreliable: each message copy is independently dropped, duplicated or
+    delayed by a bounded number of rounds, and crashed nodes neither send
+    nor receive (see {!Chaos}).  Traffic accounting ({!stats},
+    {!history}, CONGEST violations) always measures the {e offered} load
+    — what the algorithm sent — so the algorithm-side counters of a
+    fault-masked run match the fault-free run exactly. *)
+val create :
+  ?record_history:bool ->
+  ?chaos:Chaos.state ->
+  model:model ->
+  bits:('msg -> int) ->
+  Graph.t ->
+  'msg t
 
 (** [graph net] is the underlying topology. *)
 val graph : 'msg t -> Graph.t

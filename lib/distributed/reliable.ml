@@ -1,0 +1,284 @@
+(* Stop-and-wait-per-packet reliability: every data packet carries a
+   per-directed-slot sequence number, the receiver acks every copy it
+   sees (acks are lossy too), the sender retransmits on timeout with
+   exponential backoff and gives up after [max_attempts].  Slot = directed
+   edge = [2 * edge_id + dir], the same indexing as {!Net}'s load
+   accounting. *)
+
+type 'msg packet = Data of { seq : int; payload : 'msg } | Ack of { seq : int }
+
+let header_bits = 32 (* sequence number, chaos mode only *)
+let ack_bits = 32
+let max_attempts = 30
+
+(* Backoff multiplier: linear up to 8x, then flat — enough to ride out a
+   long crash window without the physical round count exploding. *)
+let backoff attempts = min attempts 8
+
+type 'msg pending = {
+  p_src : int;
+  p_dst : int;
+  p_slot : int;
+  p_seq : int;
+  p_payload : 'msg;
+  mutable p_attempts : int; (* transmissions so far *)
+  mutable p_due : int; (* physical round of the next retransmission *)
+}
+
+type 'msg t = {
+  g : Graph.t;
+  net : 'msg packet Net.t;
+  chaos : Chaos.state option; (* [None] = passthrough *)
+  rto0 : int;
+  next_seq : int array; (* per directed slot *)
+  seen : (int * int, unit) Hashtbl.t; (* delivered (slot, seq) *)
+  mutable outstanding : 'msg pending list;
+  accum : (int * int * 'msg) list array; (* (sender, seq, payload) per dst *)
+  inboxes : (int * 'msg) list array; (* previous logical round *)
+  mutable clock : int; (* physical rounds completed *)
+  mutable retransmits : int;
+  mutable giveups : int;
+}
+
+let slot_of g ~src ~dst =
+  match Graph.find_edge g src dst with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Reliable.send: %d and %d are not adjacent" src dst)
+  | Some id -> (2 * id) + if src < dst then 0 else 1
+
+let create ?(record_history = false) ?chaos ~model ~bits g =
+  let chaos =
+    match chaos with
+    | Some plan when not (Chaos.is_silent plan) -> Some (Chaos.start plan)
+    | _ -> None
+  in
+  let lossy = chaos <> None in
+  let packet_bits = function
+    | Data { payload; _ } -> bits payload + if lossy then header_bits else 0
+    | Ack _ -> ack_bits
+  in
+  let n = Graph.n g in
+  let rto0 =
+    2 + match chaos with Some ch -> (Chaos.plan_of ch).Chaos.reorder | None -> 0
+  in
+  {
+    g;
+    net = Net.create ~record_history ?chaos ~model ~bits:packet_bits g;
+    chaos;
+    rto0;
+    next_seq = Array.make (max 1 (2 * Graph.m g)) 0;
+    seen = Hashtbl.create (if lossy then 1024 else 1);
+    outstanding = [];
+    accum = Array.make n [];
+    inboxes = Array.make n [];
+    clock = 0;
+    retransmits = 0;
+    giveups = 0;
+  }
+
+let graph t = t.g
+
+let send t ~src ~dst msg =
+  match t.chaos with
+  | None -> Net.send t.net ~src ~dst (Data { seq = 0; payload = msg })
+  | Some _ ->
+      let slot = slot_of t.g ~src ~dst in
+      let seq = t.next_seq.(slot) in
+      t.next_seq.(slot) <- seq + 1;
+      Net.send t.net ~src ~dst (Data { seq; payload = msg });
+      t.outstanding <-
+        {
+          p_src = src;
+          p_dst = dst;
+          p_slot = slot;
+          p_seq = seq;
+          p_payload = msg;
+          p_attempts = 1;
+          p_due = t.clock + t.rto0;
+        }
+        :: t.outstanding
+
+let broadcast t ~src msg =
+  Graph.iter_neighbors t.g src (fun dst _ -> send t ~src ~dst msg)
+
+(* Read one physical round's deliveries: ack every data copy (the ack
+   itself may be lost — the sender's timeout covers that), accumulate
+   first copies into the logical inbox, and clear acked packets. *)
+let harvest t =
+  let n = Graph.n t.g in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun (sender, pkt) ->
+        match pkt with
+        | Ack { seq } ->
+            t.outstanding <-
+              List.filter
+                (fun p ->
+                  not (p.p_src = v && p.p_dst = sender && p.p_seq = seq))
+                t.outstanding
+        | Data { seq; payload } ->
+            Net.send t.net ~src:v ~dst:sender (Ack { seq });
+            let slot = slot_of t.g ~src:sender ~dst:v in
+            if not (Hashtbl.mem t.seen (slot, seq)) then begin
+              Hashtbl.add t.seen (slot, seq) ();
+              t.accum.(v) <- (sender, seq, payload) :: t.accum.(v)
+            end)
+      (Net.inbox t.net v)
+  done
+
+let step t =
+  Net.next_round t.net;
+  t.clock <- t.clock + 1;
+  harvest t
+
+let retransmit_due t =
+  t.outstanding <-
+    List.filter
+      (fun p ->
+        if p.p_due > t.clock then true
+        else if p.p_attempts >= max_attempts then begin
+          t.giveups <- t.giveups + 1;
+          Obs.Counter.incr Chaos.giveups_counter;
+          if Obs_trace.enabled () then
+            Obs_trace.emit
+              (Obs_trace.Chaos_event
+                 { kind = "giveup"; src = p.p_src; dst = p.p_dst });
+          false
+        end
+        else begin
+          Net.send t.net ~src:p.p_src ~dst:p.p_dst
+            (Data { seq = p.p_seq; payload = p.p_payload });
+          p.p_attempts <- p.p_attempts + 1;
+          p.p_due <- t.clock + (t.rto0 * backoff p.p_attempts);
+          t.retransmits <- t.retransmits + 1;
+          Obs.Counter.incr Chaos.retries_counter;
+          if Obs_trace.enabled () then
+            Obs_trace.emit
+              (Obs_trace.Chaos_event
+                 { kind = "retransmit"; src = p.p_src; dst = p.p_dst });
+          true
+        end)
+      t.outstanding
+
+let next_round t =
+  match t.chaos with
+  | None -> Net.next_round t.net
+  | Some _ ->
+      step t;
+      while t.outstanding <> [] do
+        retransmit_due t;
+        if t.outstanding <> [] then step t
+      done;
+      let n = Graph.n t.g in
+      for v = 0 to n - 1 do
+        (* canonical order: by sender, then send order — independent of
+           which physical round each copy happened to arrive in *)
+        let sorted =
+          List.sort
+            (fun (s1, q1, _) (s2, q2, _) -> compare (s1, q1) (s2, q2))
+            t.accum.(v)
+        in
+        t.inboxes.(v) <- List.map (fun (s, _, m) -> (s, m)) sorted;
+        t.accum.(v) <- []
+      done
+
+let inbox t v =
+  match t.chaos with
+  | None ->
+      List.map
+        (fun (s, pkt) ->
+          match pkt with
+          | Data { payload; _ } -> (s, payload)
+          | Ack _ -> assert false)
+        (Net.inbox t.net v)
+  | Some _ -> t.inboxes.(v)
+
+let charge_rounds t k = Net.charge_rounds t.net k
+let stats t = Net.stats t.net
+let history t = Net.history t.net
+let retransmits t = t.retransmits
+let giveups t = t.giveups
+let chaos_counts t = Option.map Chaos.counts t.chaos
+
+(* ------------------------- asynchronous wrapper ---------------------- *)
+
+module Async = struct
+  type t = {
+    g : Graph.t;
+    anet : Async_net.t;
+    chaos : Chaos.state option;
+    rto0 : float;
+    next_seq : int array;
+    seen : (int * int, unit) Hashtbl.t; (* delivered (slot, seq) *)
+    acked : (int * int, unit) Hashtbl.t;
+    mutable retransmits : int;
+    mutable giveups : int;
+  }
+
+  let create rng ?min_delay ?max_delay ?chaos g =
+    let chaos =
+      match chaos with
+      | Some plan when not (Chaos.is_silent plan) -> Some (Chaos.start plan)
+      | _ -> None
+    in
+    let anet = Async_net.create rng ?min_delay ?max_delay ?chaos g in
+    {
+      g;
+      anet;
+      chaos;
+      (* a round trip is at most [2 * max_delay]; leave margin for spikes *)
+      rto0 = 3. *. Async_net.max_delay anet;
+      next_seq = Array.make (max 1 (2 * Graph.m g)) 0;
+      seen = Hashtbl.create (if chaos <> None then 1024 else 1);
+      acked = Hashtbl.create (if chaos <> None then 1024 else 1);
+      retransmits = 0;
+      giveups = 0;
+    }
+
+  let net t = t.anet
+
+  let send t ~src ~dst handler =
+    match t.chaos with
+    | None -> Async_net.send t.anet ~src ~dst handler
+    | Some _ ->
+        let slot = slot_of t.g ~src ~dst in
+        let seq = t.next_seq.(slot) in
+        t.next_seq.(slot) <- seq + 1;
+        let key = (slot, seq) in
+        let deliver () =
+          if not (Hashtbl.mem t.seen key) then begin
+            Hashtbl.add t.seen key ();
+            handler ()
+          end;
+          (* ack every copy: an earlier ack may have been dropped *)
+          Async_net.send t.anet ~src:dst ~dst:src (fun () ->
+              Hashtbl.replace t.acked key ())
+        in
+        let rec attempt n =
+          Async_net.send t.anet ~src ~dst deliver;
+          let rto = t.rto0 *. float_of_int (backoff n) in
+          Async_net.at t.anet ~time:(Async_net.now t.anet +. rto) (fun () ->
+              if not (Hashtbl.mem t.acked key) then
+                if n >= max_attempts then begin
+                  t.giveups <- t.giveups + 1;
+                  Obs.Counter.incr Chaos.giveups_counter;
+                  if Obs_trace.enabled () then
+                    Obs_trace.emit
+                      (Obs_trace.Chaos_event { kind = "giveup"; src; dst })
+                end
+                else begin
+                  t.retransmits <- t.retransmits + 1;
+                  Obs.Counter.incr Chaos.retries_counter;
+                  if Obs_trace.enabled () then
+                    Obs_trace.emit
+                      (Obs_trace.Chaos_event { kind = "retransmit"; src; dst });
+                  attempt (n + 1)
+                end)
+        in
+        attempt 1
+
+  let retransmits t = t.retransmits
+  let giveups t = t.giveups
+  let chaos_counts t = Option.map Chaos.counts t.chaos
+end

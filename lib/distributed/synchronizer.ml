@@ -5,20 +5,23 @@ type report = {
   max_skew : float;
   skeleton_edges : int;
   survivors_connected : bool;
+  retransmits : int;
 }
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "pulses=%d messages=%d time=%.2f skew=%.2f skeleton=%d connected=%b"
+    "pulses=%d messages=%d time=%.2f skew=%.2f skeleton=%d connected=%b \
+     retransmits=%d"
     r.pulses r.messages r.completion_time r.max_skew r.skeleton_edges
-    r.survivors_connected
+    r.survivors_connected r.retransmits
 
-let run rng ?failures ~pulses ~skeleton g =
+let run rng ?failures ?chaos ~pulses ~skeleton g =
   if pulses < 1 then invalid_arg "Synchronizer.run: pulses must be >= 1";
   if skeleton.Selection.source != g then
     invalid_arg "Synchronizer.run: skeleton must select edges of the given graph";
   let n = Graph.n g in
-  let net = Async_net.create rng g in
+  let rel = Reliable.Async.create rng ?chaos g in
+  let net = Reliable.Async.net rel in
   (* Skeleton adjacency. *)
   let nbrs = Array.make n [] in
   List.iter
@@ -42,7 +45,7 @@ let run rng ?failures ~pulses ~skeleton g =
           (* The sender does not filter on [alive y]: without a failure
              detector event it cannot know; messages to the dead are
              counted and dropped on delivery. *)
-          Async_net.send net ~src:v ~dst:y (fun () -> receive_safe y v p))
+          Reliable.Async.send rel ~src:v ~dst:y (fun () -> receive_safe y v p))
         nbrs.(v)
   and receive_safe v from p =
     if alive.(v) && p <= pulses then begin
@@ -120,4 +123,5 @@ let run rng ?failures ~pulses ~skeleton g =
     max_skew = !max_skew;
     skeleton_edges = skeleton.Selection.size;
     survivors_connected;
+    retransmits = Reliable.Async.retransmits rel;
   }

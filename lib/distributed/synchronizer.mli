@@ -21,26 +21,33 @@
 
 type report = {
   pulses : int;  (** pulses every survivor completed *)
-  messages : int;  (** total safety messages *)
+  messages : int;  (** total messages, acks and retransmissions included *)
   completion_time : float;
   max_skew : float;  (** worst pulse-entry time gap across surviving
                          G-edges *)
   skeleton_edges : int;
   survivors_connected : bool;
       (** is the skeleton restricted to survivors still connected? *)
+  retransmits : int;
+      (** packets re-sent by the reliable-delivery layer (0 without
+          chaos) *)
 }
 
 val pp_report : Format.formatter -> report -> unit
 
-(** [run rng ?failures ~pulses ~skeleton g] drives every node through
-    [pulses] synchronized pulses over the given skeleton (a {!Selection.t}
-    over [g]).  [failures = (time, nodes)] crashes the listed nodes at the
-    given time.  Requires the skeleton (restricted to survivors) to leave
-    each node with at least zero neighbors — isolated survivors simply
-    free-run, which the skew metric exposes. *)
+(** [run rng ?failures ?chaos ~pulses ~skeleton g] drives every node
+    through [pulses] synchronized pulses over the given skeleton (a
+    {!Selection.t} over [g]).  [failures = (time, nodes)] crashes the
+    listed nodes at the given time.  [chaos] makes message delivery
+    unreliable; safety messages then travel through {!Reliable.Async},
+    whose acks and retransmissions are included in [messages].  Requires
+    the skeleton (restricted to survivors) to leave each node with at
+    least zero neighbors — isolated survivors simply free-run, which the
+    skew metric exposes. *)
 val run :
   Rng.t ->
   ?failures:float * int list ->
+  ?chaos:Chaos.plan ->
   pulses:int ->
   skeleton:Selection.t ->
   Graph.t ->

@@ -25,8 +25,14 @@ let scale s t =
    per-worker busy shares) depend on which worker claimed which chunk,
    which varies run to run and with the jobs count.  The algorithm
    counters next to them ARE deterministic, so the gate excludes exactly
-   this prefix instead of loosening every counter tolerance. *)
-let scheduling_prefixes = [ "pool." ]
+   this prefix instead of loosening every counter tolerance.  The chaos
+   series ([net.drops] and friends) are likewise excluded: they count
+   injected faults and protocol reactions, which any change to a fault
+   plan or retransmit policy legitimately moves — the gate guards the
+   algorithm counters next to them instead. *)
+let scheduling_prefixes =
+  [ "pool."; "net.drops"; "net.dups"; "net.reorders"; "net.retries";
+    "net.giveups" ]
 
 let scheduling_dependent name =
   List.exists

@@ -11,10 +11,15 @@
     One carve-out: [pool.*] counters (the {!Exec} domain-pool's tasks,
     steals, and per-worker busy shares) are scheduling-dependent — they
     vary with the jobs count and the steal order — so the comparison
-    skips them entirely, in both documents.  Everything else on a
-    parallel entry (e.g. [greedy-parallel]'s [lbc.*] series) stays under
-    the tight counter tolerance, which is exactly the determinism
-    contract of [Exec.parallel_for].
+    skips them entirely, in both documents.  The chaos fault series
+    ([net.drops], [net.dups], [net.reorders], [net.retries],
+    [net.giveups]) are skipped for the analogous reason: they count
+    injected faults and the retransmit protocol's reactions, which move
+    with any fault-plan or backoff-policy change.  Everything else on a
+    parallel or lossy entry (e.g. [greedy-parallel]'s [lbc.*] series)
+    stays under the tight counter tolerance, which is exactly the
+    determinism contract of [Exec.parallel_for] and of the reliable
+    delivery layer.
 
     [bench/compare.exe] is the CLI over this module; the [@bench-compare]
     and [@obs-check] dune aliases run it against [BENCH_BASELINE.json]. *)
@@ -51,7 +56,8 @@ val scale : float -> tolerances -> tolerances
 
 (** [scheduling_dependent name] is true iff [name] belongs to a metric
     series the gate ignores because its value depends on runtime
-    scheduling rather than the algorithm (currently the [pool.] prefix). *)
+    scheduling or fault injection rather than the algorithm (currently
+    the [pool.] prefix and the chaos [net.*] fault series). *)
 val scheduling_dependent : string -> bool
 
 (** [compare_reports ?tol base run] matches the two documents (baseline

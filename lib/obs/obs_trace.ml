@@ -5,6 +5,7 @@ type payload =
   | Lbc_end of { edge : int; yes : bool; bfs_rounds : int; cut_size : int }
   | Greedy_edge of { edge : int; kept : bool; weight : float }
   | Congest_round of { round : int; messages : int; bits : int }
+  | Chaos_event of { kind : string; src : int; dst : int }
   | Cluster_stats of { partition : int; clusters : int; max_depth : int }
   | Phase of { name : string; index : int }
   | Counter_sample of { name : string; value : int }
@@ -118,6 +119,11 @@ let json_of_payload p =
         ("type", String "congest_round"); ("round", Int round);
         ("messages", Int messages); ("bits", Int bits);
       ]
+  | Chaos_event { kind; src; dst } ->
+      [
+        ("type", String "chaos"); ("kind", String kind); ("src", Int src);
+        ("dst", Int dst);
+      ]
   | Cluster_stats { partition; clusters; max_depth } ->
       [
         ("type", String "cluster_stats"); ("partition", Int partition);
@@ -217,6 +223,11 @@ let to_chrome () =
         Some
           (counter ~name:"net.traffic" ts_s
              [ ("round", Int round); ("messages", Int messages); ("bits", Int bits) ])
+    | Chaos_event { kind; src; dst } ->
+        Some
+          (instant ~name:("chaos." ^ kind)
+             ~args:[ ("src", Int src); ("dst", Int dst) ]
+             ts_s)
     | Cluster_stats { partition; clusters; max_depth } ->
         Some
           (instant ~name:"decomposition.partition"

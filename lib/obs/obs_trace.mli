@@ -44,6 +44,10 @@ type payload =
       (** a greedy (poly/exp/batch) committed or rejected an edge *)
   | Congest_round of { round : int; messages : int; bits : int }
       (** one simulator round completed, with that round's traffic *)
+  | Chaos_event of { kind : string; src : int; dst : int }
+      (** one injected network fault or recovery action: [kind] is
+          ["drop"], ["dup"], ["reorder"], ["spike"], ["retransmit"] or
+          ["giveup"]; [src]/[dst] label the affected message *)
   | Cluster_stats of { partition : int; clusters : int; max_depth : int }
       (** one partition of a padded decomposition converged *)
   | Phase of { name : string; index : int }

@@ -79,6 +79,35 @@ grep -q "graph ftspan" "$TMP/s.dot" || fail "dot output malformed"
 "$BIN" congest -k 2 -f 1 -c 0.5 "$TMP/g.graph" | grep -q "iterations:" \
   || fail "congest"
 
+# chaos: an unreliable network must not change what gets selected — the
+# reliable-delivery layer masks drop/dup/reorder, it only costs rounds.
+CHAOS="drop=0.2,dup=0.05,reorder=4,seed=5"
+"$BIN" congest --seed 11 -k 2 -f 1 -c 0.5 "$TMP/s.graph" > "$TMP/congest-clean.txt" \
+  || fail "congest clean reference"
+"$BIN" congest --seed 11 -k 2 -f 1 -c 0.5 --chaos "$CHAOS" "$TMP/s.graph" \
+  > "$TMP/congest-chaos.txt" || fail "congest --chaos must terminate"
+[ "$(grep '^spanner:' "$TMP/congest-clean.txt")" = \
+  "$(grep '^spanner:' "$TMP/congest-chaos.txt")" ] \
+  || fail "congest --chaos must select the same spanner as the clean run"
+# same seed, same schedule: the lossy run replays bit-for-bit
+"$BIN" congest --seed 11 -k 2 -f 1 -c 0.5 --chaos "$CHAOS" "$TMP/s.graph" \
+  > "$TMP/congest-chaos2.txt" || fail "congest --chaos rerun"
+cmp -s "$TMP/congest-chaos.txt" "$TMP/congest-chaos2.txt" \
+  || fail "congest --chaos must be deterministic for a fixed seed"
+# the retransmit machinery shows up in the telemetry, and only there
+"$BIN" congest --seed 11 -k 2 -f 1 -c 0.5 --chaos "$CHAOS" --metrics=pretty \
+  "$TMP/s.graph" > "$TMP/congest-chaos-metrics.txt" || fail "congest --chaos --metrics"
+grep -q "net.retries" "$TMP/congest-chaos-metrics.txt" \
+  || fail "chaos metrics must report net.retries"
+grep -q "net.drops" "$TMP/congest-chaos-metrics.txt" \
+  || fail "chaos metrics must report net.drops"
+"$BIN" local --seed 11 -k 2 -f 1 --chaos "$CHAOS" "$TMP/s.graph" \
+  | grep -q "rounds:" || fail "local --chaos"
+"$BIN" congest -k 2 -f 1 --chaos "drop=1.5" "$TMP/s.graph" >/dev/null 2>&1 \
+  && fail "chaos spec with drop > 1 accepted"
+"$BIN" congest -k 2 -f 1 --chaos "frobnicate=1" "$TMP/s.graph" >/dev/null 2>&1 \
+  && fail "unknown chaos key accepted"
+
 # dk11 and exponential algorithms through the facade
 "$BIN" build -k 2 -f 1 --algo dk11 "$TMP/s.graph" >/dev/null || fail "build dk11"
 "$BIN" build -k 2 -f 1 --algo greedy-exp "$TMP/s.graph" >/dev/null || fail "build exp"

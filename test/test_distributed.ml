@@ -352,6 +352,57 @@ let test_congest_ft_overlap_grows_with_f () =
   let o3 = (Congest_ft.build r ~c:0.5 ~mode:Fault.VFT ~k:2 ~f:3 g).Congest_ft.max_overlap in
   checkb (Printf.sprintf "more iterations, more overlap (%d vs %d)" o1 o3) true (o3 >= o1)
 
+(* --------------------------- async net -------------------------------- *)
+
+let test_async_at_rejects_past () =
+  let g = Generators.path 2 in
+  let net = Async_net.create (rng ()) g in
+  (* a timer at the current instant is fine... *)
+  Async_net.at net ~time:(Async_net.now net) (fun () -> ());
+  ignore (Async_net.run net);
+  (* ...but strictly in the past is refused, also after the clock moved *)
+  Async_net.at net ~time:2. (fun () -> ());
+  ignore (Async_net.run net);
+  checkb "clock advanced" true (Async_net.now net >= 2.);
+  try
+    Async_net.at net ~time:1. (fun () -> ());
+    Alcotest.fail "timer in the past accepted"
+  with Invalid_argument _ -> ()
+
+let test_async_send_requires_adjacency () =
+  let g = Generators.path 3 in
+  let net = Async_net.create (rng ()) g in
+  (try
+     Async_net.send net ~src:0 ~dst:2 (fun () -> ());
+     Alcotest.fail "non-adjacent send accepted"
+   with Invalid_argument _ -> ());
+  checki "rejected send not counted" 0 (Async_net.messages net)
+
+let test_async_run_max_events_pauses_mid_queue () =
+  let g = Generators.path 2 in
+  let net = Async_net.create (rng ()) g in
+  let hits = ref 0 in
+  for i = 0 to 4 do
+    Async_net.at net ~time:(float_of_int i) (fun () -> incr hits)
+  done;
+  checki "stops at the budget" 2 (Async_net.run ~max_events:2 net);
+  checki "exactly two handlers ran" 2 !hits;
+  checkb "clock at the last processed event" true (Async_net.now net = 1.);
+  checki "remainder still queued" 3 (Async_net.run net);
+  checki "all handlers ran" 5 !hits
+
+let test_async_run_until_keeps_future_events () =
+  let g = Generators.path 2 in
+  let net = Async_net.create (rng ()) g in
+  let log = ref [] in
+  List.iter
+    (fun t -> Async_net.at net ~time:t (fun () -> log := t :: !log))
+    [ 1.; 2.; 10. ];
+  checki "events up to the horizon" 2 (Async_net.run ~until:5. net);
+  checkb "clock does not pass the horizon" true (Async_net.now net <= 5.);
+  checki "future event survives the pause" 1 (Async_net.run net);
+  checkb "order preserved" true (!log = [ 10.; 2.; 1. ])
+
 let () =
   Alcotest.run "distributed"
     [
@@ -398,5 +449,12 @@ let () =
           Alcotest.test_case "round accounting" `Quick test_congest_ft_round_accounting;
           Alcotest.test_case "f=0" `Quick test_congest_ft_f0_degenerates;
           Alcotest.test_case "overlap grows" `Quick test_congest_ft_overlap_grows_with_f;
+        ] );
+      ( "async net",
+        [
+          Alcotest.test_case "at rejects past" `Quick test_async_at_rejects_past;
+          Alcotest.test_case "adjacency required" `Quick test_async_send_requires_adjacency;
+          Alcotest.test_case "max_events pauses" `Quick test_async_run_max_events_pauses_mid_queue;
+          Alcotest.test_case "until keeps future" `Quick test_async_run_until_keeps_future_events;
         ] );
     ]

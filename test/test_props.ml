@@ -308,6 +308,55 @@ let prop_incremental_equals_offline =
       in
       Selection.ids (Incremental.snapshot inc) = Selection.ids offline)
 
+(* The differential check against the facade: streaming a nondecreasing-
+   weight edge sequence through [Incremental.insert] must reproduce
+   [Spanner.build] (default algorithm + order = greedy by weight) on the
+   final graph, even when the final graph lists its edges in a different
+   order.  Distinct weights make the by-weight order a strict total order,
+   so both sides process the same sequence.  Selections live over
+   different [Graph.t] values, so we compare canonical endpoint sets. *)
+let prop_incremental_sorted_equals_spanner_build =
+  QCheck.Test.make ~count:12
+    ~name:"incremental: sorted stream = Spanner.build on final graph"
+    (QCheck.pair arb_graph_desc
+       (QCheck.make
+          ~print:(fun (k, f, eft) ->
+            Printf.sprintf "(k=%d, f=%d, %s)" k f (if eft then "EFT" else "VFT"))
+          QCheck.Gen.(triple (int_range 2 3) (int_range 0 2) bool)))
+    (fun (desc, (k, f, eft)) ->
+      let mode = if eft then Fault.EFT else Fault.VFT in
+      let seed, _, _ = desc in
+      let g0 = graph_of desc in
+      let edges = ref [] in
+      Graph.iter_edges g0 (fun e -> edges := (e.Graph.u, e.Graph.v) :: !edges);
+      let edges = Array.of_list !edges in
+      let m = Array.length edges in
+      (* distinct weights 1..m, shuffled so weight order <> id order *)
+      let weights = Array.init m (fun i -> float_of_int (i + 1)) in
+      Rng.shuffle (seeded_rng (seed + 4242)) weights;
+      let final =
+        Graph.of_weighted_edges (Graph.n g0)
+          (Array.to_list (Array.mapi (fun i (u, v) -> (u, v, weights.(i))) edges))
+      in
+      let offline = Spanner.build { Spanner.k; f; mode } final in
+      let inc = Incremental.create ~mode ~k ~f ~n:(Graph.n g0) in
+      let order = Array.init m (fun i -> i) in
+      Array.sort (fun a b -> compare weights.(a) weights.(b)) order;
+      Array.iter
+        (fun i ->
+          let u, v = edges.(i) in
+          ignore (Incremental.insert inc u v ~w:weights.(i)))
+        order;
+      let canon sel =
+        List.sort compare
+          (List.map
+             (fun id ->
+               let u, v = Graph.endpoints sel.Selection.source id in
+               (min u v, max u v))
+             (Selection.ids sel))
+      in
+      canon (Incremental.snapshot inc) = canon offline)
+
 let prop_blocking_certificates =
   QCheck.Test.make ~count:15 ~name:"blocking: greedy certificates block all short cycles"
     arb_graph_desc (fun desc ->
@@ -387,6 +436,7 @@ let suite =
       prop_congest_bs_valid;
       prop_oracle_stretch;
       prop_incremental_equals_offline;
+      prop_incremental_sorted_equals_spanner_build;
       prop_blocking_certificates;
       prop_batch_greedy_valid_any_batch;
       prop_synchronizer_completes;

@@ -3,6 +3,7 @@
    Usage:
      compare.exe [--slack F] [--tol-wall F] [--tol-wall-abs S]
                  [--tol-counter F] BASELINE.json RUN.json
+     compare.exe --check-heartbeat STREAM.jsonl
 
    Entries are matched by id; the wall time and every counter are judged
    by Obs_compare against per-metric tolerances (counters tight — the
@@ -14,15 +15,21 @@
    the parallel entries (greedy-parallel) gate on their deterministic
    algorithm counters but never on steal order or jobs count.
 
+   [--check-heartbeat] is the second gate mode: it validates an
+   ftspan.heartbeat.v1 JSON-lines stream (every line parses, every line
+   carries the schema tag, at least one beat reports quantiles), so the
+   @obs-stream-check alias can assert the streaming plane end to end.
+
    Exit status: 0 when every metric is within tolerance (improvements
-   included), 1 on any regression or baseline metric missing from the
-   run, 2 on usage or parse errors — the same error/usage split as
-   main.exe. *)
+   included) / the stream is valid, 1 on any regression, baseline metric
+   missing from the run, or semantically invalid stream, 2 on usage or
+   parse errors — the same error/usage split as main.exe. *)
 
 let usage () =
   prerr_endline
     "usage: compare.exe [--slack F] [--tol-wall F] [--tol-wall-abs S] \
      [--tol-counter F] BASELINE.json RUN.json";
+  prerr_endline "       compare.exe --check-heartbeat STREAM.jsonl";
   exit 2
 
 let bad fmt =
@@ -45,6 +52,79 @@ let read_report file =
   | Ok j -> j
   | Error msg -> bad "%s: %s" file msg
 
+(* Validate one ftspan.heartbeat.v1 JSON-lines stream: every line must
+   parse and carry the schema tag (parse errors are usage-class, exit 2);
+   an empty stream or one whose beats never report a quantile block with
+   p50/p99 is a gate failure (exit 1) — it means the quantile pipeline
+   went dark while the run was alive. *)
+let check_heartbeat file =
+  let ic = try open_in file with Sys_error msg -> bad "%s" msg in
+  let beats = ref 0 and with_quantiles = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then begin
+            incr beats;
+            let j =
+              match Obs_json.of_string line with
+              | Ok j -> j
+              | Error msg -> bad "%s: beat %d: %s" file !beats msg
+            in
+            (match Option.bind (Obs_json.member "schema" j) Obs_json.to_str with
+            | Some "ftspan.heartbeat.v1" -> ()
+            | Some other -> bad "%s: beat %d: schema %S" file !beats other
+            | None -> bad "%s: beat %d: missing schema tag" file !beats);
+            match Obs_json.member "quantiles" j with
+            | Some (Obs_json.Obj hists) ->
+                let has_q (_, h) =
+                  Obs_json.member "p50" h <> None
+                  && Obs_json.member "p99" h <> None
+                in
+                if hists <> [] && List.for_all has_q hists then
+                  incr with_quantiles
+            | _ -> ()
+          end
+        done
+      with End_of_file -> ());
+  Printf.printf "heartbeat stream %s: %d beats, %d with quantiles\n" file
+    !beats !with_quantiles;
+  if !beats = 0 then begin
+    print_endline "INVALID: stream is empty";
+    exit 1
+  end;
+  if !with_quantiles = 0 then begin
+    print_endline "INVALID: no beat reports latency quantiles";
+    exit 1
+  end;
+  print_endline "OK: valid ftspan.heartbeat.v1 stream"
+
+(* Which gate carve-outs actually fired: the prefixes under which either
+   document has at least one counter.  Printed so a reader of the gate
+   log can see what was deliberately not compared. *)
+let matched_exclusions docs =
+  let counter_names j =
+    match Option.bind (Obs_json.member "entries" j) Obs_json.to_list with
+    | None -> []
+    | Some entries ->
+        List.concat_map
+          (fun e ->
+            match Obs_json.member "counters" e with
+            | Some (Obs_json.Obj fields) -> List.map fst fields
+            | _ -> [])
+          entries
+  in
+  let names = List.concat_map counter_names docs in
+  let starts_with p s =
+    String.length s >= String.length p
+    && String.sub s 0 (String.length p) = p
+  in
+  List.filter
+    (fun p -> List.exists (starts_with p) names)
+    Obs_compare.excluded_prefixes
+
 let () =
   let tol = ref Obs_compare.default_tolerances in
   let slack = ref 1.0 in
@@ -54,8 +134,13 @@ let () =
     | Some f when f > 0. -> f
     | _ -> bad "%s expects a positive number, got %S" name s
   in
+  let heartbeat = ref None in
   let rec go = function
     | [] -> ()
+    | "--check-heartbeat" :: v :: rest ->
+        heartbeat := Some v;
+        go rest
+    | [ "--check-heartbeat" ] -> bad "missing option value"
     | "--slack" :: v :: rest ->
         slack := float_of "--slack" v;
         go rest
@@ -77,6 +162,12 @@ let () =
         go rest
   in
   go (List.tl (Array.to_list Sys.argv));
+  (match (!heartbeat, !files) with
+  | Some file, [] ->
+      check_heartbeat file;
+      exit 0
+  | Some _, _ -> bad "--check-heartbeat takes no report files"
+  | None, _ -> ());
   let base_file, run_file =
     match List.rev !files with
     | [ b; r ] -> (b, r)
@@ -89,6 +180,11 @@ let () =
   | Ok findings ->
       Printf.printf "baseline %s vs run %s (slack %.2g)\n\n" base_file run_file
         !slack;
+      (match matched_exclusions [ base; run ] with
+      | [] -> ()
+      | ps ->
+          Printf.printf "gate-excluded prefixes skipped: %s\n\n"
+            (String.concat " " ps));
       Format.printf "%a@." Obs_compare.pp_findings findings;
       if Obs_compare.regressed findings then begin
         print_endline "\nREGRESSION: run exceeds the baseline tolerance";

@@ -8,21 +8,27 @@
      dune exec bench/main.exe -- --json out.json e2  # + ftspan.metrics.v1 report
      dune exec bench/main.exe -- --match lbc         # jobs whose id contains "lbc"
      dune exec bench/main.exe -- --trace t.json,chrome e2  # + event trace
+     dune exec bench/main.exe -- --trace t.json,sample=0.01,seed=7 e2
+     dune exec bench/main.exe -- --metrics-stream hb.jsonl,ops=4096 e2
 
    Experiment ids follow DESIGN.md's index (e1..e17); each regenerates the
    table validating one of the paper's theorems, and EXPERIMENTS.md records
    the paper-claim vs measured comparison.  With [--json] each job runs
    against a freshly reset telemetry registry and its snapshot (wall time,
    every counter/timer/histogram, span tree) becomes one report entry.
-   With [--trace FILE[,chrome]] the whole run is event-traced (Obs_trace)
-   and the log written when the last job finishes.
+   With [--trace FILE[,chrome][,sample=S][,seed=N]] the whole run is
+   event-traced (Obs_trace) — optionally head-sampled, keeping phase and
+   fault events always — and the log written when the last job finishes.
+   With [--metrics-stream FILE[,SECONDS][,ops=K]] a heartbeat reporter
+   appends one ftspan.heartbeat.v1 JSON line per beat while jobs run.
 
    Unknown arguments are an error: usage goes to stderr and the process
    exits with code 2, so typos cannot silently skip experiments in CI. *)
 
 let usage oc =
   output_string oc
-    "usage: main.exe [--json FILE] [--trace FILE[,chrome]] [--smoke] \
+    "usage: main.exe [--json FILE] [--trace FILE[,chrome][,sample=S][,seed=N]] \
+     [--metrics-stream FILE[,SECONDS][,ops=K]] [--smoke] \
      [--match SUBSTR] [--jobs N] [e1..e17|micro]...\n";
   output_string oc "experiments:\n";
   List.iter (fun (name, _) -> Printf.fprintf oc "  %s\n" name) Experiments.by_name;
@@ -56,11 +62,16 @@ let contains ~sub s =
 
 let parse_args args =
   let json = ref None and trace = ref None and smoke = ref false in
-  let filter = ref None and jobs = ref [] in
+  let filter = ref None and jobs = ref [] and stream = ref None in
   let set_trace spec =
     match Obs_trace.parse_spec spec with
-    | Some t -> trace := Some t
-    | None -> bad_usage "--trace requires a file argument"
+    | Ok t -> trace := Some t
+    | Error msg -> bad_usage "--trace: %s" msg
+  in
+  let set_stream spec =
+    match Obs_heartbeat.parse_spec spec with
+    | Ok s -> stream := Some s
+    | Error msg -> bad_usage "--metrics-stream: %s" msg
   in
   (* Worker-domain count for the parallel experiments (greedy-parallel and
      the E12 sweep read it back via [Exec.default_jobs]).  The default, 1,
@@ -81,6 +92,8 @@ let parse_args args =
     | [] -> ()
     | "--json" :: rest -> go (opt_with_value "--json" (fun f -> json := Some f) rest)
     | "--trace" :: rest -> go (opt_with_value "--trace" set_trace rest)
+    | "--metrics-stream" :: rest ->
+        go (opt_with_value "--metrics-stream" set_stream rest)
     | "--match" :: rest ->
         go (opt_with_value "--match" (fun s -> filter := Some s) rest)
     | ("--jobs" | "-j") :: rest -> go (opt_with_value "--jobs" set_jobs rest)
@@ -92,6 +105,10 @@ let parse_args args =
         go rest
     | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
         set_trace (String.sub arg 8 (String.length arg - 8));
+        go rest
+    | arg :: rest
+      when String.length arg > 17 && String.sub arg 0 17 = "--metrics-stream=" ->
+        set_stream (String.sub arg 17 (String.length arg - 17));
         go rest
     | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--match=" ->
         filter := Some (String.sub arg 8 (String.length arg - 8));
@@ -120,28 +137,46 @@ let parse_args args =
     | None -> jobs
     | Some sub -> List.filter (fun (id, _) -> contains ~sub id) jobs
   in
-  (!json, !trace, jobs)
+  (!json, !trace, !stream, jobs)
+
+(* Wall time feeds the log-linear histogram so the report's quantile block
+   covers the bench itself, not just the instrumented library layers. *)
+let h_wall = Obs.histogram_log "bench.wall_s"
 
 let run_job (id, fn) =
   Obs.reset ();
   let (), wall = Tables.time fn in
+  Obs.Histogram.observe h_wall wall;
   { Obs_sink.id; wall_s = wall; snap = Obs.snapshot () }
 
 let () =
-  let json, trace, jobs =
+  let json, trace, stream, jobs =
     match Array.to_list Sys.argv with
     | _ :: args -> parse_args args
-    | [] -> (None, None, [])
+    | [] -> (None, None, None, [])
   in
-  Option.iter (fun _ -> Obs_trace.start ()) trace;
+  Option.iter
+    (fun t ->
+      Obs_trace.start ?sample:t.Obs_trace.sample
+        ~sample_seed:t.Obs_trace.sample_seed ())
+    trace;
+  Option.iter Obs_heartbeat.start stream;
   let entries = List.map run_job jobs in
+  (match stream with
+  | None -> ()
+  | Some s ->
+      Obs_heartbeat.stop ();
+      Printf.printf "\nmetrics stream written to %s (%d beats)\n"
+        s.Obs_heartbeat.file
+        (Obs_heartbeat.beats ()));
   (match trace with
   | None -> ()
-  | Some (file, fmt) ->
+  | Some t ->
       Obs_trace.stop ();
-      Obs_trace.write ~file fmt;
-      Printf.printf "\ntrace written to %s (%d events, %d dropped)\n" file
-        (Obs_trace.seen ()) (Obs_trace.dropped ()));
+      Obs_trace.write ~file:t.Obs_trace.file t.Obs_trace.format;
+      Printf.printf "\ntrace written to %s (%d events, %d sampled, %d dropped)\n"
+        t.Obs_trace.file (Obs_trace.seen ()) (Obs_trace.sampled ())
+        (Obs_trace.dropped ()));
   match json with
   | None -> ()
   | Some file ->

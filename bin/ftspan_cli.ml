@@ -97,31 +97,76 @@ let trace_arg =
      $(docv) when the command finishes.  A $(b,,chrome) suffix selects \
      the Chrome trace-event format (open the file in chrome://tracing or \
      https://ui.perfetto.dev); the default is the native ftspan.trace.v1 \
-     JSON."
+     JSON.  A $(b,,sample=)S suffix (a rate in (0,1] or $(b,1/)N) head-samples \
+     the bulk event stream — phase markers and fault events are always \
+     kept — and $(b,,seed=)N picks the private sampling-RNG seed, so the \
+     same seed replays the same kept set."
   in
   let spec_conv =
     Arg.conv
       ( (fun s ->
           match Obs_trace.parse_spec s with
-          | Some spec -> Ok spec
-          | None -> Error (`Msg "empty trace file name")),
+          | Ok spec -> Ok spec
+          | Error msg -> Error (`Msg msg)),
         Obs_trace.pp_spec )
   in
-  Arg.(value & opt (some spec_conv) None & info [ "trace" ] ~docv:"FILE[,chrome]" ~doc)
+  Arg.(
+    value
+    & opt (some spec_conv) None
+    & info [ "trace" ] ~docv:"FILE[,chrome][,sample=S][,seed=N]" ~doc)
 
 (* Wrap a subcommand body in event collection; the file is written even
    when the body raises, so aborted runs keep their partial trace. *)
 let with_trace trace f =
   match trace with
   | None -> f ()
-  | Some (file, fmt) ->
-      Obs_trace.start ();
+  | Some spec ->
+      Obs_trace.start ?sample:spec.Obs_trace.sample
+        ~sample_seed:spec.Obs_trace.sample_seed ();
       Fun.protect
         ~finally:(fun () ->
           Obs_trace.stop ();
-          Obs_trace.write ~file fmt;
-          Printf.printf "trace written to %s (%d events, %d dropped)\n" file
-            (Obs_trace.seen ()) (Obs_trace.dropped ()))
+          Obs_trace.write ~file:spec.Obs_trace.file spec.Obs_trace.format;
+          Printf.printf "trace written to %s (%d events, %d sampled, %d dropped)\n"
+            spec.Obs_trace.file (Obs_trace.seen ()) (Obs_trace.sampled ())
+            (Obs_trace.dropped ()))
+        f
+
+let stream_arg =
+  let doc =
+    "Stream run-time heartbeat snapshots to $(docv) while the command \
+     runs: one ftspan.heartbeat.v1 JSON line per beat, carrying counter \
+     deltas since the previous beat, latency quantiles (p50/p90/p99/p999 \
+     of every log-linear histogram), GC numbers, and pool utilization.  \
+     Beats default to one per second; a $(b,,)SECONDS suffix changes the \
+     interval and $(b,,ops=)K beats every K logical operations instead."
+  in
+  let spec_conv =
+    Arg.conv
+      ( (fun s ->
+          match Obs_heartbeat.parse_spec s with
+          | Ok spec -> Ok spec
+          | Error msg -> Error (`Msg msg)),
+        Obs_heartbeat.pp_spec )
+  in
+  Arg.(
+    value
+    & opt (some spec_conv) None
+    & info [ "metrics-stream" ] ~docv:"FILE[,SECONDS][,ops=K]" ~doc)
+
+(* Wrap a subcommand body in the heartbeat reporter; the final beat and
+   the close happen on every exit path. *)
+let with_stream stream f =
+  match stream with
+  | None -> f ()
+  | Some spec ->
+      Obs_heartbeat.start spec;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs_heartbeat.stop ();
+          Printf.printf "metrics stream written to %s (%d beats)\n"
+            spec.Obs_heartbeat.file
+            (Obs_heartbeat.beats ()))
         f
 
 let chaos_arg =
@@ -287,7 +332,7 @@ let save_selection sel file =
       List.iter (fun id -> output_string oc (string_of_int id ^ "\n")) (Selection.ids sel))
 
 let build_cmd =
-  let run seed k f mode algo jobs batch metrics trace file out dot =
+  let run seed k f mode algo jobs batch metrics trace stream file out dot =
     match (resolve_jobs jobs, batch) with
     | Error _ as e, _ -> e
     | _, Some b when b < 1 ->
@@ -299,6 +344,7 @@ let build_cmd =
     Result.map
       (fun g ->
         with_metrics metrics ~id:"build" @@ fun () ->
+        with_stream stream @@ fun () ->
         with_trace trace @@ fun () ->
         with_jobs jobs @@ fun pool ->
         let rng = Rng.create ~seed in
@@ -331,8 +377,8 @@ let build_cmd =
     Term.(
       term_result
         (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ algo_arg $ jobs_arg
-       $ batch_arg $ metrics_arg $ trace_arg $ graph_arg $ spanner_out_arg
-       $ dot_out_arg))
+       $ batch_arg $ metrics_arg $ trace_arg $ stream_arg $ graph_arg
+       $ spanner_out_arg $ dot_out_arg))
   in
   Cmd.v (Cmd.info "build" ~doc:"Construct a fault-tolerant spanner.") term
 
@@ -411,10 +457,11 @@ let verify_cmd =
 (* ----------------------------- local ---------------------------------- *)
 
 let local_cmd =
-  let run seed k f mode chaos metrics trace file =
+  let run seed k f mode chaos metrics trace stream file =
     Result.map
       (fun g ->
         with_metrics metrics ~id:"local" @@ fun () ->
+        with_stream stream @@ fun () ->
         with_trace trace @@ fun () ->
         let rng = Rng.create ~seed in
         let res = Local_spanner.build rng ?chaos ~mode ~k ~f g in
@@ -439,7 +486,7 @@ let local_cmd =
     Term.(
       term_result
         (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ chaos_arg
-       $ metrics_arg $ trace_arg $ graph_arg))
+       $ metrics_arg $ trace_arg $ stream_arg $ graph_arg))
   in
   Cmd.v
     (Cmd.info "local" ~doc:"Run the LOCAL-model construction (Theorem 12).")
@@ -452,10 +499,11 @@ let c_arg =
   Arg.(value & opt float 1.0 & info [ "c" ] ~docv:"C" ~doc)
 
 let congest_cmd =
-  let run seed k f mode c chaos metrics trace file =
+  let run seed k f mode c chaos metrics trace stream file =
     Result.map
       (fun g ->
         with_metrics metrics ~id:"congest" @@ fun () ->
+        with_stream stream @@ fun () ->
         with_trace trace @@ fun () ->
         let rng = Rng.create ~seed in
         let res = Congest_ft.build rng ~c ?chaos ~mode ~k ~f g in
@@ -475,7 +523,7 @@ let congest_cmd =
     Term.(
       term_result
         (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ c_arg $ chaos_arg
-       $ metrics_arg $ trace_arg $ graph_arg))
+       $ metrics_arg $ trace_arg $ stream_arg $ graph_arg))
   in
   Cmd.v
     (Cmd.info "congest" ~doc:"Run the CONGEST-model construction (Theorem 15).")

@@ -36,6 +36,9 @@ let h_cut = Obs.histogram "lbc.cut_size"
 
 let decide ?ws ?(edge = -1) ~mode g ~u ~v ~t ~alpha =
   if u = v then invalid_arg "Lbc.decide: u = v";
+  (* One LBC verdict is the centralized algorithms' logical operation:
+     the heartbeat stream paces itself on it. *)
+  Obs_heartbeat.pulse ();
   if t < 1 then invalid_arg "Lbc.decide: t must be >= 1";
   if alpha < 0 then invalid_arg "Lbc.decide: alpha must be >= 0";
   (* Sampled once: the begin/end pair must agree on whether it exists

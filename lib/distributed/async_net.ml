@@ -97,7 +97,9 @@ let run ?(until = infinity) ?(max_events = max_int) net =
           incr processed;
           let handler = net.handlers.(idx) in
           net.handlers.(idx) <- nop;
-          handler ()
+          handler ();
+          (* one delivered event = one heartbeat operation *)
+          Obs_heartbeat.pulse ()
         end
   done;
   !processed

@@ -177,7 +177,9 @@ let next_round net =
   if Obs_trace.enabled () then
     Obs_trace.emit
       (Obs_trace.Congest_round
-         { round = net.round; messages = round_msgs; bits = round_bits })
+         { round = net.round; messages = round_msgs; bits = round_bits });
+  (* one simulator round = one heartbeat operation *)
+  Obs_heartbeat.pulse ()
 
 let inbox net v = net.delivered.(v)
 

@@ -15,12 +15,18 @@ let max_attempts = 30
    long crash window without the physical round count exploding. *)
 let backoff attempts = min attempts 8
 
+(* Data-to-first-ack latency, in physical rounds (sync layer) or
+   simulated seconds (Async): the service-level series the soak runs
+   watch.  Log-linear so p99/p999 stay honest under backoff tails. *)
+let h_rtt = Obs.histogram_log "reliable.rtt"
+
 type 'msg pending = {
   p_src : int;
   p_dst : int;
   p_slot : int;
   p_seq : int;
   p_payload : 'msg;
+  p_sent : int; (* physical round of the first transmission *)
   mutable p_attempts : int; (* transmissions so far *)
   mutable p_due : int; (* physical round of the next retransmission *)
 }
@@ -94,6 +100,7 @@ let send t ~src ~dst msg =
           p_slot = slot;
           p_seq = seq;
           p_payload = msg;
+          p_sent = t.clock;
           p_attempts = 1;
           p_due = t.clock + t.rto0;
         }
@@ -115,7 +122,11 @@ let harvest t =
             t.outstanding <-
               List.filter
                 (fun p ->
-                  not (p.p_src = v && p.p_dst = sender && p.p_seq = seq))
+                  if p.p_src = v && p.p_dst = sender && p.p_seq = seq then begin
+                    Obs.Histogram.observe_int h_rtt (t.clock - p.p_sent);
+                    false
+                  end
+                  else true)
                 t.outstanding
         | Data { seq; payload } ->
             Net.send t.net ~src:v ~dst:sender (Ack { seq });
@@ -246,6 +257,7 @@ module Async = struct
         let seq = t.next_seq.(slot) in
         t.next_seq.(slot) <- seq + 1;
         let key = (slot, seq) in
+        let t0 = Async_net.now t.anet in
         let deliver () =
           if not (Hashtbl.mem t.seen key) then begin
             Hashtbl.add t.seen key ();
@@ -253,7 +265,10 @@ module Async = struct
           end;
           (* ack every copy: an earlier ack may have been dropped *)
           Async_net.send t.anet ~src:dst ~dst:src (fun () ->
-              Hashtbl.replace t.acked key ())
+              if not (Hashtbl.mem t.acked key) then begin
+                Hashtbl.add t.acked key ();
+                Obs.Histogram.observe h_rtt (Async_net.now t.anet -. t0)
+              end)
         in
         let rec attempt n =
           Async_net.send t.anet ~src ~dst deliver;

@@ -15,6 +15,11 @@ let pp_report ppf r =
     r.pulses r.messages r.completion_time r.max_skew r.skeleton_edges
     r.survivors_connected r.retransmits
 
+(* Per-node pulse-to-pulse latency in simulated time: the α-synchronizer's
+   service-level series.  Log-linear: lossy runs stretch the tail with
+   retransmission backoff, which is exactly what p99/p999 should show. *)
+let h_round_latency = Obs.histogram_log "sync.round_latency"
+
 let run rng ?failures ?chaos ~pulses ~skeleton g =
   if pulses < 1 then invalid_arg "Synchronizer.run: pulses must be >= 1";
   if skeleton.Selection.source != g then
@@ -63,7 +68,11 @@ let run rng ?failures ?chaos ~pulses ~skeleton g =
       in
       if all_safe then begin
         pulse.(v) <- p + 1;
-        entry_time.(v).(p + 1) <- Async_net.now net;
+        let now = Async_net.now net in
+        entry_time.(v).(p + 1) <- now;
+        let prev = entry_time.(v).(p) in
+        if Float.is_finite prev then
+          Obs.Histogram.observe h_round_latency (now -. prev);
         send_safe v (p + 1);
         try_advance v
       end

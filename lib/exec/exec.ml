@@ -141,22 +141,20 @@ end
 
 let region_seq = Atomic.make 0
 
-(* Flush one region's scheduling telemetry.  Runs on the caller only,
-   after the region closed, so the plain-mutable timer/histogram state in
-   Obs is never touched from two domains. *)
-let record_region pool ~tasks ~steals ~busy ~elapsed =
+(* Flush one region's scheduling telemetry.  Runs on the caller, after
+   the region closed.  The per-worker [pool.busy.N] timers are NOT
+   recorded here: each worker records its own share from its own domain
+   (the timers are sharded per domain, so that is exact), and the
+   region's closing mutex hand-off publishes those writes before any
+   caller-side read merges them. *)
+let record_region _pool ~tasks ~steals ~busy ~elapsed =
   Obs.Counter.incr m_regions;
   Obs.Counter.add m_tasks tasks;
   Obs.Counter.add m_steals steals;
-  let total_busy = ref 0. in
-  Array.iteri
-    (fun w b ->
-      total_busy := !total_busy +. b;
-      if b > 0. then Obs.Timer.record pool.Pool.busy_timers.(w) b)
-    busy;
+  let total_busy = Array.fold_left ( +. ) 0. busy in
   if elapsed > 0. then
     Obs.Histogram.observe h_utilization
-      (100. *. !total_busy /. (elapsed *. float_of_int (Array.length busy)))
+      (100. *. total_busy /. (elapsed *. float_of_int (Array.length busy)))
 
 let parallel_for ?chunk pool ~lo ~hi body =
   if hi > lo then begin
@@ -180,9 +178,11 @@ let parallel_for ?chunk pool ~lo ~hi body =
       let t0 = Unix.gettimeofday () in
       body ~worker:0 lo hi;
       let dt = Unix.gettimeofday () -. t0 in
+      if dt > 0. then Obs.Timer.record pool.Pool.busy_timers.(0) dt;
       let busy = Array.make workers 0. in
       busy.(0) <- dt;
-      record_region pool ~tasks:1 ~steals:0 ~busy ~elapsed:dt
+      record_region pool ~tasks:1 ~steals:0 ~busy ~elapsed:dt;
+      Obs_heartbeat.pulse ()
     end
     else begin
       let next = Atomic.make lo in
@@ -209,7 +209,11 @@ let parallel_for ?chunk pool ~lo ~hi body =
               continue := false
           end
         done;
-        busy.(w) <- busy.(w) +. (Unix.gettimeofday () -. t0)
+        let dt = Unix.gettimeofday () -. t0 in
+        (* Recorded on the worker's own domain: the sharded timer makes
+           this exact, where a caller-side flush was best-effort. *)
+        if dt > 0. then Obs.Timer.record pool.Pool.busy_timers.(w) dt;
+        busy.(w) <- busy.(w) +. dt
       in
       let t0 = Unix.gettimeofday () in
       pool.Pool.in_region <- true;
@@ -219,6 +223,7 @@ let parallel_for ?chunk pool ~lo ~hi body =
       record_region pool ~tasks:(Atomic.get tasks) ~steals:(Atomic.get steals)
         ~busy
         ~elapsed:(Unix.gettimeofday () -. t0);
+      Obs_heartbeat.pulse ();
       match Atomic.get failure with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()

@@ -3,12 +3,81 @@ let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
 (* Monotonic clamp over the wall clock: the OS clock may step backwards
-   (NTP); measurements must not. *)
-let last_now = ref 0.
-let now_s () =
-  let t = Unix.gettimeofday () in
-  if t > !last_now then last_now := t;
-  !last_now
+   (NTP); measurements must not.  The last reading is shared across
+   domains, so it advances with a CAS loop — a plain ref would let two
+   concurrent readers publish out-of-order values and one of them observe
+   a backwards step. *)
+let last_now = Atomic.make 0.
+
+let rec clamp_now t =
+  let last = Atomic.get last_now in
+  if t <= last then last
+  else if Atomic.compare_and_set last_now last t then t
+  else clamp_now t
+
+let now_s () = clamp_now (Unix.gettimeofday ())
+
+(* --------------------------- domain shards --------------------------- *)
+
+(* One lazily-registered slot per domain id, so the owning domain writes
+   its shard with plain stores (no contention, no tearing of neighbours)
+   and readers merge over all slots.  The slot array only grows; every
+   structural write happens under one global registration mutex, and the
+   array itself is republished through an Atomic so lock-free readers
+   always see a well-formed (possibly slightly stale) version.
+
+   Memory-model contract: a domain's shard contents are exact to any
+   reader that synchronized with that domain after its last write — the
+   Exec pool's region hand-off and Domain.join both qualify — and
+   best-effort while the writer is still running. *)
+module Shards = struct
+  type 'a t = { slots : 'a option array Atomic.t; make : unit -> 'a }
+
+  let registration = Mutex.create ()
+  let create make = { slots = Atomic.make [||]; make }
+
+  let register t id =
+    Mutex.lock registration;
+    let arr = Atomic.get t.slots in
+    let arr =
+      if id < Array.length arr then arr
+      else begin
+        let grown =
+          Array.make (max (id + 1) ((2 * Array.length arr) + 4)) None
+        in
+        Array.blit arr 0 grown 0 (Array.length arr);
+        Atomic.set t.slots grown;
+        grown
+      end
+    in
+    let s =
+      match arr.(id) with
+      | Some s -> s
+      | None ->
+          let s = t.make () in
+          arr.(id) <- Some s;
+          s
+    in
+    Mutex.unlock registration;
+    s
+
+  let get t =
+    let id = (Domain.self () :> int) in
+    let arr = Atomic.get t.slots in
+    if id < Array.length arr then
+      match Array.unsafe_get arr id with
+      | Some s -> s
+      | None -> register t id
+    else register t id
+
+  let iter f t =
+    Array.iter (function Some s -> f s | None -> ()) (Atomic.get t.slots)
+
+  let fold f acc t =
+    Array.fold_left
+      (fun acc -> function Some s -> f acc s | None -> acc)
+      acc (Atomic.get t.slots)
+end
 
 module Counter = struct
   type t = { name : string; value : int Atomic.t }
@@ -21,14 +90,17 @@ module Counter = struct
 end
 
 module Timer = struct
-  type t = { name : string; mutable total : float; mutable count : int }
+  type shard = { mutable total : float; mutable count : int }
+  type t = { name : string; shards : shard Shards.t }
 
   let name t = t.name
+  let make name = { name; shards = Shards.create (fun () -> { total = 0.; count = 0 }) }
 
   let record t dt =
     if Atomic.get enabled_flag then begin
-      t.total <- t.total +. dt;
-      t.count <- t.count + 1
+      let s = Shards.get t.shards in
+      s.total <- s.total +. dt;
+      s.count <- s.count + 1
     end
 
   let time t f =
@@ -38,20 +110,40 @@ module Timer = struct
       Fun.protect ~finally:(fun () -> record t (now_s () -. t0)) f
     end
 
-  let total_s t = t.total
-  let count t = t.count
-  let reset t = t.total <- 0.; t.count <- 0
+  let total_s t = Shards.fold (fun acc s -> acc +. s.total) 0. t.shards
+  let count t = Shards.fold (fun acc s -> acc + s.count) 0 t.shards
+
+  let reset t =
+    Shards.iter
+      (fun s ->
+        s.total <- 0.;
+        s.count <- 0)
+      t.shards
 end
 
 module Histogram = struct
-  (* Bucket upper bounds 2^0 .. 2^30, plus one overflow bucket.  Values
-     <= 1 land in bucket 0; the layout matches the integer work counts
-     (rounds, cut sizes, message bits) the repo histograms. *)
-  let bounds = Array.init 31 (fun i -> Float.of_int (1 lsl i))
-  let nbuckets = Array.length bounds + 1
+  type scheme = Pow2 | Log_linear
 
-  type t = {
-    name : string;
+  (* Pow2: upper bounds 2^0 .. 2^30, plus one overflow bucket — the
+     right shape for the integer work counts (rounds, cut sizes, message
+     bits) the repo histograms.  Values <= 1 land in bucket 0. *)
+  let pow2_bounds = Array.init 31 (fun i -> Float.of_int (1 lsl i))
+
+  (* Log_linear: 9 linear sub-buckets per decade over 1e-7 .. 9e3 (HDR
+     style) plus one overflow bucket, so latency quantiles resolve to
+     ~11% anywhere from 100ns to hours while using 100 buckets. *)
+  let log_linear_bounds =
+    Array.init (11 * 9) (fun i ->
+        let decade = (i / 9) - 7 and unit = (i mod 9) + 1 in
+        Float.of_int unit *. (10. ** Float.of_int decade))
+
+  let bounds_of = function
+    | Pow2 -> pow2_bounds
+    | Log_linear -> log_linear_bounds
+
+  let nbuckets_of scheme = Array.length (bounds_of scheme) + 1
+
+  type shard = {
     mutable count : int;
     mutable sum : float;
     mutable min : float;
@@ -59,45 +151,147 @@ module Histogram = struct
     buckets : int array;
   }
 
+  type t = { name : string; scheme : scheme; shards : shard Shards.t }
+
   let name h = h.name
 
-  let bucket_of v =
-    let rec go i = if i >= Array.length bounds || v <= bounds.(i) then i else go (i + 1) in
-    go 0
+  let make name scheme =
+    {
+      name;
+      scheme;
+      shards =
+        Shards.create (fun () ->
+            {
+              count = 0;
+              sum = 0.;
+              min = 0.;
+              max = 0.;
+              buckets = Array.make (nbuckets_of scheme) 0;
+            });
+    }
+
+  (* First bucket whose inclusive upper bound covers [v]; the last
+     bucket is the overflow (+inf).  Binary search: both bound arrays
+     are sorted and small. *)
+  let bucket_of bounds v =
+    let n = Array.length bounds in
+    if v <= bounds.(0) then 0
+    else if v > bounds.(n - 1) then n
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      (* invariant: bounds.(lo) < v <= bounds.(hi) *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if v <= bounds.(mid) then hi := mid else lo := mid
+      done;
+      !hi
+    end
 
   let observe h v =
     if Atomic.get enabled_flag then begin
-      if h.count = 0 || v < h.min then h.min <- v;
-      if h.count = 0 || v > h.max then h.max <- v;
-      h.count <- h.count + 1;
-      h.sum <- h.sum +. v;
-      let b = bucket_of v in
-      h.buckets.(b) <- h.buckets.(b) + 1
+      let s = Shards.get h.shards in
+      if s.count = 0 || v < s.min then s.min <- v;
+      if s.count = 0 || v > s.max then s.max <- v;
+      s.count <- s.count + 1;
+      s.sum <- s.sum +. v;
+      let b = bucket_of (bounds_of h.scheme) v in
+      s.buckets.(b) <- s.buckets.(b) + 1
     end
 
   let observe_int h v = observe h (Float.of_int v)
-  let count h = h.count
-  let sum h = h.sum
+
+  (* A merged copy across shards — the single source of truth for every
+     aggregate read. *)
+  let merged h =
+    let acc =
+      {
+        count = 0;
+        sum = 0.;
+        min = 0.;
+        max = 0.;
+        buckets = Array.make (nbuckets_of h.scheme) 0;
+      }
+    in
+    Shards.iter
+      (fun s ->
+        if s.count > 0 then begin
+          if acc.count = 0 || s.min < acc.min then acc.min <- s.min;
+          if acc.count = 0 || s.max > acc.max then acc.max <- s.max;
+          acc.count <- acc.count + s.count;
+          acc.sum <- acc.sum +. s.sum;
+          Array.iteri
+            (fun i c -> acc.buckets.(i) <- acc.buckets.(i) + c)
+            s.buckets
+        end)
+      h.shards;
+    acc
+
+  let count h = Shards.fold (fun acc s -> acc + s.count) 0 h.shards
+  let sum h = Shards.fold (fun acc s -> acc +. s.sum) 0. h.shards
+
+  (* Quantile estimate over a merged view: find the bucket holding the
+     rank-th observation and report its upper bound, clamped into the
+     observed [min, max] envelope (which makes the one-sample and
+     overflow-bucket answers exact). *)
+  let quantile_of_merged bounds m q =
+    if m.count = 0 then 0.
+    else begin
+      let rank =
+        let r = int_of_float (Float.ceil (q *. float_of_int m.count)) in
+        if r < 1 then 1 else if r > m.count then m.count else r
+      in
+      let nb = Array.length m.buckets in
+      let est = ref m.max in
+      let cum = ref 0 in
+      (try
+         for i = 0 to nb - 1 do
+           cum := !cum + m.buckets.(i);
+           if !cum >= rank then begin
+             est := (if i < Array.length bounds then bounds.(i) else m.max);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Float.min m.max (Float.max m.min !est)
+    end
+
+  let quantile h q =
+    if not (Float.is_finite q) || q < 0. || q > 1. then
+      invalid_arg "Obs.Histogram.quantile: q must be in [0,1]";
+    quantile_of_merged (bounds_of h.scheme) (merged h) q
 
   let reset h =
-    h.count <- 0;
-    h.sum <- 0.;
-    h.min <- 0.;
-    h.max <- 0.;
-    Array.fill h.buckets 0 nbuckets 0
+    Shards.iter
+      (fun s ->
+        s.count <- 0;
+        s.sum <- 0.;
+        s.min <- 0.;
+        s.max <- 0.;
+        Array.fill s.buckets 0 (Array.length s.buckets) 0)
+      h.shards
 end
 
 (* ------------------------------ spans ------------------------------- *)
 
 (* Spans are accumulated directly into a merged tree: one node per
    distinct (parent path, name), so memory is bounded by the number of
-   distinct span paths rather than the number of events. *)
+   distinct span paths rather than the number of events.  The tree and
+   the stack belong to the main domain, but [registry_mutex] guards the
+   structural updates so a snapshot taken from another domain (the
+   heartbeat reporter) never races a Hashtbl resize. *)
 type span_node = {
   sp_name : string;
   mutable sp_count : int;
   mutable sp_total : float;
   sp_children : (string, span_node) Hashtbl.t;
 }
+
+(* Guards the metric registry and the span tree; see [snapshot]. *)
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
 let make_span_node name =
   { sp_name = name; sp_count = 0; sp_total = 0.; sp_children = Hashtbl.create 4 }
@@ -120,21 +314,29 @@ let find_span_node table name =
 let with_span name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
-    let table =
-      match !span_stack with [] -> span_roots | top :: _ -> top.sp_children
+    let node =
+      locked (fun () ->
+          let table =
+            match !span_stack with
+            | [] -> span_roots
+            | top :: _ -> top.sp_children
+          in
+          let node = find_span_node table name in
+          span_stack := node :: !span_stack;
+          node)
     in
-    let node = find_span_node table name in
-    span_stack := node :: !span_stack;
     run_hook `Begin name;
     let t0 = now_s () in
     Fun.protect
       ~finally:(fun () ->
-        node.sp_count <- node.sp_count + 1;
-        node.sp_total <- node.sp_total +. (now_s () -. t0);
-        run_hook `End name;
-        match !span_stack with
-        | top :: rest when top == node -> span_stack := rest
-        | _ -> (* a reset () ran inside the span; the stack is gone *) ())
+        let dt = now_s () -. t0 in
+        locked (fun () ->
+            node.sp_count <- node.sp_count + 1;
+            node.sp_total <- node.sp_total +. dt;
+            match !span_stack with
+            | top :: rest when top == node -> span_stack := rest
+            | _ -> (* a reset () ran inside the span; the stack is gone *) ());
+        run_hook `End name)
       f
   end
 
@@ -148,18 +350,20 @@ type metric =
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
 let register name make extract kind =
-  match Hashtbl.find_opt registry name with
-  | Some m -> (
-      match extract m with
-      | Some x -> x
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match extract m with
+          | Some x -> x
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Obs: %S is already registered as a different kind (wanted %s)"
+                   name kind))
       | None ->
-          invalid_arg
-            (Printf.sprintf "Obs: %S is already registered as a different kind (wanted %s)"
-               name kind))
-  | None ->
-      let x, m = make () in
-      Hashtbl.add registry name m;
-      x
+          let x, m = make () in
+          Hashtbl.add registry name m;
+          x)
 
 let counter name =
   register name
@@ -172,21 +376,25 @@ let counter name =
 let timer name =
   register name
     (fun () ->
-      let t = { Timer.name; total = 0.; count = 0 } in
+      let t = Timer.make name in
       (t, M_timer t))
     (function M_timer t -> Some t | _ -> None)
     "timer"
 
-let histogram name =
+let histogram_scheme scheme kind name =
   register name
     (fun () ->
-      let h =
-        { Histogram.name; count = 0; sum = 0.; min = 0.; max = 0.;
-          buckets = Array.make Histogram.nbuckets 0 }
-      in
+      let h = Histogram.make name scheme in
       (h, M_histogram h))
-    (function M_histogram h -> Some h | _ -> None)
-    "histogram"
+    (function
+      | M_histogram h when h.Histogram.scheme = scheme -> Some h
+      | _ -> None)
+    kind
+
+let histogram name = histogram_scheme Histogram.Pow2 "pow2 histogram" name
+
+let histogram_log name =
+  histogram_scheme Histogram.Log_linear "log-linear histogram" name
 
 (* ----------------------------- snapshot ----------------------------- *)
 
@@ -196,6 +404,7 @@ type histogram_view = {
   h_min : float;
   h_max : float;
   h_buckets : (float option * int) list;
+  h_quantiles : (string * float) list;
 }
 
 type span_view = {
@@ -212,23 +421,32 @@ type snapshot = {
   spans : span_view list;
 }
 
+let quantile_points = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99); ("p999", 0.999) ]
+
 let view_histogram (h : Histogram.t) =
+  let m = Histogram.merged h in
+  let bounds = Histogram.bounds_of h.Histogram.scheme in
   let buckets = ref [] in
-  for i = Histogram.nbuckets - 1 downto 0 do
-    if h.Histogram.buckets.(i) > 0 then begin
+  for i = Array.length m.Histogram.buckets - 1 downto 0 do
+    if m.Histogram.buckets.(i) > 0 then begin
       let bound =
-        if i < Array.length Histogram.bounds then Some Histogram.bounds.(i)
-        else None
+        if i < Array.length bounds then Some bounds.(i) else None
       in
-      buckets := (bound, h.Histogram.buckets.(i)) :: !buckets
+      buckets := (bound, m.Histogram.buckets.(i)) :: !buckets
     end
   done;
   {
-    h_count = h.Histogram.count;
-    h_sum = h.Histogram.sum;
-    h_min = (if h.Histogram.count = 0 then 0. else h.Histogram.min);
-    h_max = (if h.Histogram.count = 0 then 0. else h.Histogram.max);
+    h_count = m.Histogram.count;
+    h_sum = m.Histogram.sum;
+    h_min = (if m.Histogram.count = 0 then 0. else m.Histogram.min);
+    h_max = (if m.Histogram.count = 0 then 0. else m.Histogram.max);
     h_buckets = !buckets;
+    h_quantiles =
+      (if m.Histogram.count = 0 then []
+       else
+         List.map
+           (fun (label, q) -> (label, Histogram.quantile_of_merged bounds m q))
+           quantile_points);
   }
 
 let rec view_span (n : span_node) =
@@ -245,27 +463,30 @@ and view_span_table table =
   |> List.sort (fun a b -> compare a.s_name b.s_name)
 
 let snapshot () =
-  let counters = ref [] and timers = ref [] and histograms = ref [] in
-  Hashtbl.iter
-    (fun name -> function
-      | M_counter c -> counters := (name, Counter.value c) :: !counters
-      | M_timer t -> timers := (name, (Timer.count t, Timer.total_s t)) :: !timers
-      | M_histogram h -> histograms := (name, view_histogram h) :: !histograms)
-    registry;
-  let by_name (a, _) (b, _) = compare (a : string) b in
-  {
-    counters = List.sort by_name !counters;
-    timers = List.sort by_name !timers;
-    histograms = List.sort by_name !histograms;
-    spans = view_span_table span_roots;
-  }
+  locked (fun () ->
+      let counters = ref [] and timers = ref [] and histograms = ref [] in
+      Hashtbl.iter
+        (fun name -> function
+          | M_counter c -> counters := (name, Counter.value c) :: !counters
+          | M_timer t ->
+              timers := (name, (Timer.count t, Timer.total_s t)) :: !timers
+          | M_histogram h -> histograms := (name, view_histogram h) :: !histograms)
+        registry;
+      let by_name (a, _) (b, _) = compare (a : string) b in
+      {
+        counters = List.sort by_name !counters;
+        timers = List.sort by_name !timers;
+        histograms = List.sort by_name !histograms;
+        spans = view_span_table span_roots;
+      })
 
 let reset () =
-  Hashtbl.iter
-    (fun _ -> function
-      | M_counter c -> Counter.reset c
-      | M_timer t -> Timer.reset t
-      | M_histogram h -> Histogram.reset h)
-    registry;
-  Hashtbl.reset span_roots;
-  span_stack := []
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | M_counter c -> Counter.reset c
+          | M_timer t -> Timer.reset t
+          | M_histogram h -> Histogram.reset h)
+        registry;
+      Hashtbl.reset span_roots;
+      span_stack := [])

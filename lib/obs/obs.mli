@@ -10,9 +10,16 @@
     in the hot loops.
 
     Concurrency: counters are atomic and safe to bump from multiple
-    domains (the parallel batched greedy does).  Timers, histograms and
-    spans use plain mutable state and assume a single domain; under
-    parallel sections their values are best-effort.
+    domains (the parallel batched greedy does).  Timers and histograms
+    are {e sharded per domain}: each domain lazily registers a private
+    slot keyed on [Domain.self ()] and records with plain stores into it,
+    and every aggregate read ([total_s], [count], [quantile], snapshots)
+    merges the shards.  Merged values are exact for any writer the reader
+    has synchronized with — the {!Exec} pool's region hand-off and
+    [Domain.join] both qualify — so end-of-region totals under the
+    parallel greedy are exact, not best-effort; a read raced against a
+    still-running writer may miss its latest observations but never
+    tears.  Spans remain main-domain constructs.
 
     Metrics are identified by name.  Requesting an existing name returns
     the already-registered metric, so independent modules may share a
@@ -29,7 +36,8 @@ val enabled : unit -> bool
 val set_enabled : bool -> unit
 
 (** [now_s ()] is a monotonically non-decreasing wall-clock reading in
-    seconds.  (The OS clock may step backwards; this never does.) *)
+    seconds.  (The OS clock may step backwards; this never does — the
+    clamp state is atomic, so the guarantee holds across domains.) *)
 val now_s : unit -> float
 
 module Counter : sig
@@ -49,7 +57,9 @@ end
 val counter : string -> Counter.t
 
 module Timer : sig
-  (** A named accumulator of elapsed wall-clock time. *)
+  (** A named accumulator of elapsed wall-clock time, sharded per
+      domain: [record] writes the calling domain's shard, the reads
+      below merge all shards. *)
   type t
 
   val name : t -> string
@@ -58,7 +68,8 @@ module Timer : sig
       included).  When collection is disabled this is exactly [f ()]. *)
   val time : t -> (unit -> 'a) -> 'a
 
-  (** [record t dt] adds a pre-measured duration in seconds. *)
+  (** [record t dt] adds a pre-measured duration in seconds to the
+      calling domain's shard. *)
   val record : t -> float -> unit
 
   val total_s : t -> float
@@ -68,10 +79,16 @@ end
 val timer : string -> Timer.t
 
 module Histogram : sig
-  (** A named distribution: count/sum/min/max plus power-of-two buckets
-      (upper bounds 1, 2, 4, ..., 2^30, +inf) — the right shape for
-      BFS-round and cut-size distributions, which span orders of
-      magnitude. *)
+  (** A named distribution: count/sum/min/max plus one of two bucket
+      layouts, sharded per domain like {!Timer}.
+
+      - {b pow2} ({!Obs.histogram}): upper bounds 1, 2, 4, ..., 2^30,
+        +inf — the right shape for integer work counts (BFS rounds, cut
+        sizes, message bits), which span orders of magnitude.
+      - {b log-linear} ({!Obs.histogram_log}): 9 linear sub-buckets per
+        decade over 1e-7 .. 9e3 plus +inf (HDR-histogram style), the
+        right shape for latencies in seconds — every bucket is within
+        ~11% of its bound, so tail quantiles stay honest. *)
   type t
 
   val name : t -> string
@@ -79,9 +96,25 @@ module Histogram : sig
   val observe_int : t -> int -> unit
   val count : t -> int
   val sum : t -> float
+
+  (** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) from the
+      merged buckets: the reported value is the covering bucket's upper
+      bound clamped into the observed [[min, max]] envelope, so a
+      one-sample histogram answers exactly and the overflow bucket
+      reports the observed max.  [0.] when the histogram is empty.
+      Raises [Invalid_argument] on [q] outside [[0, 1]]. *)
+  val quantile : t -> float -> float
 end
 
+(** [histogram name] registers (or retrieves) the power-of-two-bucketed
+    histogram [name].  Raises [Invalid_argument] if [name] is registered
+    as another kind {e or} as a histogram with the other bucket
+    layout. *)
 val histogram : string -> Histogram.t
+
+(** [histogram_log name] is the log-linear (latency) flavour; same
+    registry rules as {!histogram}. *)
+val histogram_log : string -> Histogram.t
 
 (** [with_span name f] runs [f ()] inside a span: a named, nestable timing
     scope.  Spans with the same name under the same parent are merged
@@ -103,7 +136,10 @@ val set_span_hook : ([ `Begin | `End ] -> string -> unit) option -> unit
 (** {1 Snapshots}
 
     A snapshot is an immutable copy of every registered metric, consumed
-    by the sinks in {!Obs_sink}. *)
+    by the sinks in {!Obs_sink}.  Taking one merges every timer's and
+    histogram's domain shards; it is safe from any domain (the registry
+    and span tree are mutex-guarded), with the staleness caveat of the
+    concurrency contract above. *)
 
 type histogram_view = {
   h_count : int;
@@ -114,6 +150,9 @@ type histogram_view = {
       (** nonzero buckets only, in increasing bound order; the bound is
           the bucket's inclusive upper edge, [None] for the overflow
           bucket *)
+  h_quantiles : (string * float) list;
+      (** [("p50", v); ("p90", v); ("p99", v); ("p999", v)] per
+          {!Histogram.quantile}; [[]] when the histogram is empty *)
 }
 
 type span_view = {
@@ -132,7 +171,7 @@ type snapshot = {
 
 val snapshot : unit -> snapshot
 
-(** [reset ()] zeroes every registered metric and clears recorded spans
-    (registrations survive).  Call it before a measured section to scope
-    the next {!snapshot} to that section. *)
+(** [reset ()] zeroes every registered metric (all shards) and clears
+    recorded spans (registrations survive).  Call it before a measured
+    section to scope the next {!snapshot} to that section. *)
 val reset : unit -> unit

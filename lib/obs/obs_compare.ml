@@ -21,23 +21,23 @@ let scale s t =
     counter_rel = s *. t.counter_rel;
   }
 
-(* Scheduling-dependent series: [pool.*] counters (tasks, steals,
-   per-worker busy shares) depend on which worker claimed which chunk,
-   which varies run to run and with the jobs count.  The algorithm
-   counters next to them ARE deterministic, so the gate excludes exactly
-   this prefix instead of loosening every counter tolerance.  The chaos
-   series ([net.drops] and friends) are likewise excluded: they count
-   injected faults and protocol reactions, which any change to a fault
-   plan or retransmit policy legitimately moves — the gate guards the
-   algorithm counters next to them instead. *)
-let scheduling_prefixes =
+(* The one list of gate-excluded metric prefixes.  [pool.*] counters
+   (tasks, steals, per-worker busy shares) depend on which worker
+   claimed which chunk, which varies run to run and with the jobs count.
+   The algorithm counters next to them ARE deterministic, so the gate
+   excludes exactly these prefixes instead of loosening every counter
+   tolerance.  The chaos series ([net.drops] and friends) are likewise
+   excluded: they count injected faults and protocol reactions, which
+   any change to a fault plan or retransmit policy legitimately moves —
+   the gate guards the algorithm counters next to them instead. *)
+let excluded_prefixes =
   [ "pool."; "net.drops"; "net.dups"; "net.reorders"; "net.retries";
     "net.giveups" ]
 
 let scheduling_dependent name =
   List.exists
     (fun prefix -> String.starts_with ~prefix name)
-    scheduling_prefixes
+    excluded_prefixes
 
 (* ---------------------- report destructuring ------------------------ *)
 

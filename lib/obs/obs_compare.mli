@@ -54,10 +54,15 @@ val default_tolerances : tolerances
     flag; [@obs-check] uses [scale 2.]). *)
 val scale : float -> tolerances -> tolerances
 
-(** [scheduling_dependent name] is true iff [name] belongs to a metric
-    series the gate ignores because its value depends on runtime
-    scheduling or fault injection rather than the algorithm (currently
-    the [pool.] prefix and the chaos [net.*] fault series). *)
+(** The single source of truth for the gate's carve-outs: every metric
+    whose name starts with one of these prefixes is skipped by
+    {!compare_reports}, in both documents.  Currently the [pool.]
+    scheduling series and the chaos [net.*] fault series.
+    [bench/compare.exe] prints which of these actually matched. *)
+val excluded_prefixes : string list
+
+(** [scheduling_dependent name] is true iff [name] matches one of
+    {!excluded_prefixes}. *)
 val scheduling_dependent : string -> bool
 
 (** [compare_reports ?tol base run] matches the two documents (baseline

@@ -1,0 +1,63 @@
+(** Streaming heartbeat: periodic JSON-lines snapshots of the live
+    {!Obs} registry, appended to a file while a long run is in flight —
+    the time-series complement to the one end-of-run document of
+    {!Obs_sink}.
+
+    Instrumented loops call {!pulse} once per logical operation (an LBC
+    decision, a simulator round, a pool region); while no stream is
+    armed a pulse is one atomic load.  When a beat is due — every
+    [interval_s] seconds, or every [every_ops] pulses — one line is
+    appended:
+
+    {v
+    {"schema":"ftspan.heartbeat.v1","beat":3,"t_s":1.51,
+     "counters":{"lbc.calls":407,"net.retries":12},
+     "quantiles":{"reliable.rtt":{"count":913,"p50":4,"p90":8,"p99":20,"p999":30},
+                  "pool.utilization":{"count":9,"p50":90,...}},
+     "gc":{"minor_words":5.1e6,"promoted_words":...,"major_words":...,
+           "minor_collections":12,"major_collections":1,"heap_words":491520}}
+    v}
+
+    [counters] holds {e deltas} since the previous beat (nonzero only;
+    a counter that went backwards was reset and reports its absolute
+    value); [quantiles] holds every non-empty histogram's count and
+    p50/p90/p99/p999 per {!Obs.Histogram.quantile}; [gc] is from
+    [Gc.quick_stat].  One final beat is always written by {!stop}, so
+    even a run shorter than one interval leaves a line.
+
+    Beats may fire from any domain (pulses race; one wins, the others
+    skip).  The snapshot honesty caveats of {!Obs.snapshot} apply. *)
+
+(** A parsed [--metrics-stream] argument: where to append, and when a
+    beat is due.  With both cadence fields [None], beats default to
+    once per second; with both set, whichever fires first wins. *)
+type spec = {
+  file : string;
+  interval_s : float option;  (** beat every this many seconds *)
+  every_ops : int option;  (** ... or every this many {!pulse} calls *)
+}
+
+(** [parse_spec s] parses [FILE[,SECONDS][,ops=K]].  Trailing tokens
+    that look like a cadence are recognized from the right (so a comma
+    inside the file name still parses); a malformed one ([ops=0], a
+    non-positive interval) is an [Error] with a readable message. *)
+val parse_spec : string -> (spec, string) result
+
+(** [pp_spec ppf spec] prints the spec back in [parse_spec] syntax. *)
+val pp_spec : Format.formatter -> spec -> unit
+
+(** [start spec] (re)arms the stream: truncates [spec.file] and starts
+    beating.  An already-armed stream is {!stop}ped first. *)
+val start : spec -> unit
+
+(** [stop ()] writes one final beat, closes the file and disarms.  A
+    no-op when not armed. *)
+val stop : unit -> unit
+
+(** [pulse ()] notes one logical operation and writes a beat if one is
+    due.  Safe from any domain; one atomic load when disarmed. *)
+val pulse : unit -> unit
+
+(** [beats ()] counts the lines written by the current stream — or, after
+    {!stop}, by the last one (for end-of-run summaries). *)
+val beats : unit -> int

@@ -26,8 +26,15 @@ let pp ppf (snap : Obs.snapshot) =
         let mean =
           if h.Obs.h_count = 0 then 0. else h.Obs.h_sum /. float_of_int h.Obs.h_count
         in
-        fprintf ppf "  %-32s n=%d mean=%.2f min=%g max=%g@," name h.Obs.h_count
-          mean h.Obs.h_min h.Obs.h_max)
+        fprintf ppf "  %-32s n=%d mean=%.2f min=%g max=%g" name h.Obs.h_count
+          mean h.Obs.h_min h.Obs.h_max;
+        (match
+           ( List.assoc_opt "p50" h.Obs.h_quantiles,
+             List.assoc_opt "p99" h.Obs.h_quantiles )
+         with
+        | Some p50, Some p99 -> fprintf ppf " p50=%g p99=%g" p50 p99
+        | _ -> ());
+        fprintf ppf "@,")
       snap.Obs.histograms
   end;
   if snap.Obs.spans <> [] then begin
@@ -52,6 +59,11 @@ let json_of_histogram (h : Obs.histogram_view) =
       ("sum", Obs_json.Float h.Obs.h_sum);
       ("min", Obs_json.Float h.Obs.h_min);
       ("max", Obs_json.Float h.Obs.h_max);
+      ( "quantiles",
+        Obs_json.Obj
+          (List.map
+             (fun (label, v) -> (label, Obs_json.Float v))
+             h.Obs.h_quantiles) );
       ( "buckets",
         Obs_json.List
           (List.map

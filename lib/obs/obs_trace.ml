@@ -18,36 +18,109 @@ let enabled () = Atomic.get enabled_flag
 
 let default_capacity = 1 lsl 16
 
+(* ----------------------------- sampling ----------------------------- *)
+
+type sample = Rate of float | One_in of int
+
+let default_sample_seed = 1
+
+(* Head sampling (the Dapper family's cheap variant): each candidate
+   event draws once from a private seeded stream, so a sampled run
+   replays bit-for-bit for a fixed seed — the same discipline as the
+   chaos fault streams.  Structural events (spans, phases, marks) and
+   rare fault-recovery events always pass; LBC begin/end draw once per
+   pair so exported traces keep their B/E balance. *)
+type sampler = {
+  smp_keep : unit -> bool;  (* one draw from the private stream *)
+  smp_lbc : (int, bool) Hashtbl.t;  (* pending Lbc_begin verdicts by edge *)
+}
+
+let keep_always = function
+  | Span_begin _ | Span_end _ | Phase _ | Mark _ -> true
+  | Chaos_event { kind = "crash" | "recover" | "giveup"; _ } -> true
+  | _ -> false
+
+(* Called under [lock]. *)
+let admit smp payload =
+  keep_always payload
+  ||
+  match payload with
+  | Lbc_begin { edge; _ } ->
+      let keep = smp.smp_keep () in
+      Hashtbl.add smp.smp_lbc edge keep;
+      keep
+  | Lbc_end { edge; _ } -> (
+      match Hashtbl.find_opt smp.smp_lbc edge with
+      | Some keep ->
+          Hashtbl.remove smp.smp_lbc edge;
+          keep
+      | None -> smp.smp_keep ())
+  | _ -> smp.smp_keep ()
+
 (* Ring state, guarded by [lock] (multi-domain producers: the parallel
-   batched greedy emits from worker domains). *)
+   batched greedy emits from worker domains).  [seen_count] numbers every
+   emission; [stored_count] counts the ones the sampler admitted, and
+   indexes the ring, so sampled-out events leave no holes. *)
 let lock = Mutex.create ()
 let placeholder = { seq = -1; ts_s = 0.; payload = Mark "" }
 let buf = ref (Array.make 0 placeholder)
 let seen_count = ref 0
+let stored_count = ref 0
 let origin = ref 0.
 let sink : (event -> unit) option ref = ref None
+let sampler : sampler option ref = ref None
 
 let emit payload =
   if Atomic.get enabled_flag then begin
     Mutex.lock lock;
-    let ev = { seq = !seen_count; ts_s = Obs.now_s () -. !origin; payload } in
-    let cap = Array.length !buf in
-    if cap > 0 then !buf.(ev.seq mod cap) <- ev;
-    seen_count := ev.seq + 1;
-    let consumer = !sink in
+    let seq = !seen_count in
+    seen_count := seq + 1;
+    let keep =
+      match !sampler with None -> true | Some smp -> admit smp payload
+    in
+    let consumer =
+      if not keep then None
+      else begin
+        let ev = { seq; ts_s = Obs.now_s () -. !origin; payload } in
+        let cap = Array.length !buf in
+        if cap > 0 then !buf.(!stored_count mod cap) <- ev;
+        stored_count := !stored_count + 1;
+        match !sink with Some f -> Some (f, ev) | None -> None
+      end
+    in
     Mutex.unlock lock;
-    match consumer with Some f -> f ev | None -> ()
+    match consumer with Some (f, ev) -> f ev | None -> ()
   end
 
 let span_hook phase name =
   emit (match phase with `Begin -> Span_begin name | `End -> Span_end name)
 
-let start ?(capacity = default_capacity) () =
+let start ?(capacity = default_capacity) ?sample
+    ?(sample_seed = default_sample_seed) () =
   if capacity < 1 then invalid_arg "Obs_trace.start: capacity must be >= 1";
+  (match sample with
+  | Some (Rate r) when not (r > 0. && r <= 1.) ->
+      invalid_arg "Obs_trace.start: sample rate must be in (0, 1]"
+  | Some (One_in n) when n < 1 ->
+      invalid_arg "Obs_trace.start: sample 1/N needs N >= 1"
+  | _ -> ());
   Mutex.lock lock;
   buf := Array.make capacity placeholder;
   seen_count := 0;
+  stored_count := 0;
   origin := Obs.now_s ();
+  sampler :=
+    (match sample with
+    | None | Some (One_in 1) -> None
+    | Some (Rate r) when r >= 1. -> None
+    | Some s ->
+        let st = Random.State.make [| 0x5bd1e995; sample_seed |] in
+        let keep =
+          match s with
+          | Rate r -> fun () -> Random.State.float st 1. < r
+          | One_in n -> fun () -> Random.State.int st n = 0
+        in
+        Some { smp_keep = keep; smp_lbc = Hashtbl.create 64 });
   Mutex.unlock lock;
   Obs.set_span_hook (Some span_hook);
   Atomic.set enabled_flag true
@@ -62,14 +135,15 @@ let set_sink s =
   Mutex.unlock lock
 
 let seen () = !seen_count
-let retained () = min !seen_count (Array.length !buf)
+let sampled () = !stored_count
+let retained () = min !stored_count (Array.length !buf)
 let dropped () = !seen_count - retained ()
 
 let events () =
   Mutex.lock lock;
   let cap = Array.length !buf in
-  let kept = retained () in
-  let first = !seen_count - kept in
+  let kept = min !stored_count cap in
+  let first = !stored_count - kept in
   let out = List.init kept (fun i -> !buf.((first + i) mod cap)) in
   Mutex.unlock lock;
   out
@@ -78,20 +152,86 @@ let events () =
 
 type format = Native | Chrome
 
-let parse_spec s =
-  if s = "" then None
-  else
-    match String.rindex_opt s ',' with
-    | Some i when i > 0 -> (
-        let file = String.sub s 0 i in
-        match String.sub s (i + 1) (String.length s - i - 1) with
-        | "chrome" -> Some (file, Chrome)
-        | "native" -> Some (file, Native)
-        | _ -> Some (s, Native) (* a comma in the file name, not a format *))
-    | _ -> Some (s, Native)
+type spec = {
+  file : string;
+  format : format;
+  sample : sample option;
+  sample_seed : int;
+}
 
-let pp_spec ppf (file, fmt) =
-  Format.fprintf ppf "%s%s" file (match fmt with Native -> "" | Chrome -> ",chrome")
+let parse_sample s =
+  match String.index_opt s '/' with
+  | Some i -> (
+      let num = String.sub s 0 i in
+      let den = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt num, int_of_string_opt den) with
+      | Some 1, Some n when n >= 1 -> Ok (One_in n)
+      | _ ->
+          Error
+            (Printf.sprintf "bad trace sample %S (want a rate in (0,1] or 1/N)"
+               s))
+  | None -> (
+      match float_of_string_opt s with
+      | Some r when r > 0. && r <= 1. -> Ok (Rate r)
+      | _ ->
+          Error
+            (Printf.sprintf "bad trace sample %S (want a rate in (0,1] or 1/N)"
+               s))
+
+(* Option tokens are recognized from the right end of the spec, so a
+   comma in the file name still parses: everything left of the last
+   run of recognized tokens is the file. *)
+let parse_spec s =
+  let is_opt tok =
+    tok = "chrome" || tok = "native"
+    || String.starts_with ~prefix:"sample=" tok
+    || String.starts_with ~prefix:"seed=" tok
+  in
+  let apply acc tok =
+    match acc with
+    | Error _ as e -> e
+    | Ok spec ->
+        if tok = "chrome" then Ok { spec with format = Chrome }
+        else if tok = "native" then Ok { spec with format = Native }
+        else if String.starts_with ~prefix:"sample=" tok then
+          let v = String.sub tok 7 (String.length tok - 7) in
+          Result.map (fun smp -> { spec with sample = Some smp }) (parse_sample v)
+        else
+          let v = String.sub tok 5 (String.length tok - 5) in
+          match int_of_string_opt v with
+          | Some n -> Ok { spec with sample_seed = n }
+          | None -> Error (Printf.sprintf "bad trace sample seed %S" v)
+  in
+  let rec split opts = function
+    | tok :: rest when is_opt tok -> split (tok :: opts) rest
+    | rest -> (opts, rest)
+  in
+  let opts, file_rev = split [] (List.rev (String.split_on_char ',' s)) in
+  let file = String.concat "," (List.rev file_rev) in
+  if file = "" then Error "trace spec needs a file name"
+  else
+    List.fold_left apply
+      (Ok
+         {
+           file;
+           format = Native;
+           sample = None;
+           sample_seed = default_sample_seed;
+         })
+      opts
+
+let pp_sample ppf = function
+  | Rate r -> Format.fprintf ppf "sample=%g" r
+  | One_in n -> Format.fprintf ppf "sample=1/%d" n
+
+let pp_spec ppf spec =
+  Format.fprintf ppf "%s%s" spec.file
+    (match spec.format with Native -> "" | Chrome -> ",chrome");
+  (match spec.sample with
+  | None -> ()
+  | Some smp -> Format.fprintf ppf ",%a" pp_sample smp);
+  if spec.sample_seed <> default_sample_seed then
+    Format.fprintf ppf ",seed=%d" spec.sample_seed
 
 let json_of_payload p =
   let open Obs_json in
@@ -142,6 +282,7 @@ let to_json () =
       ("schema", String "ftspan.trace.v1");
       ("created_unix", Float (Unix.time ()));
       ("seen", Int (seen ()));
+      ("sampled", Int (sampled ()));
       ("dropped", Int (dropped ()));
       ( "events",
         List

@@ -67,11 +67,25 @@ type event = {
 (** [enabled ()] is [false] until {!start} and after {!stop}. *)
 val enabled : unit -> bool
 
-(** [start ?capacity ()] clears the buffer, re-arms the clock, installs
-    the {!Obs} span hook and enables collection.  [capacity] (default
-    [65536]) bounds the number of retained events; raises
-    [Invalid_argument] if it is [< 1]. *)
-val start : ?capacity:int -> unit -> unit
+(** A head-sampling policy: keep each candidate event with probability
+    [Rate r] ([0 < r <= 1]) or [One_in n] (probability [1/n]). *)
+type sample = Rate of float | One_in of int
+
+(** [start ?capacity ?sample ?sample_seed ()] clears the buffer, re-arms
+    the clock, installs the {!Obs} span hook and enables collection.
+    [capacity] (default [65536]) bounds the number of retained events;
+    raises [Invalid_argument] if it is [< 1].
+
+    With [sample], high-volume events draw a keep/drop verdict from a
+    private stream seeded by [sample_seed] (default 1) — the chaos-plan
+    discipline, so a sampled run replays bit-for-bit for a fixed seed.
+    Always kept regardless of the draw: [Span_begin]/[Span_end],
+    [Phase], [Mark], and the rare fault-recovery chaos kinds (["crash"],
+    ["recover"], ["giveup"]).  [Lbc_begin]/[Lbc_end] draw {e once per
+    pair} (keyed on the edge id), so exported traces keep their
+    begin/end balance.  Raises [Invalid_argument] on a rate outside
+    (0, 1] or [One_in n] with [n < 1]. *)
+val start : ?capacity:int -> ?sample:sample -> ?sample_seed:int -> unit -> unit
 
 (** [stop ()] disables collection and removes the span hook.  The buffer
     is retained for export. *)
@@ -88,14 +102,20 @@ val emit : payload -> unit
 val set_sink : (event -> unit) option -> unit
 
 (** [events ()] lists the retained events, oldest first.  After an
-    overflow this is the {e suffix} of the stream: [List.length] is
-    [min (seen ()) capacity] and the first [seq] is [dropped ()]. *)
+    overflow this is the {e suffix} of the sampled stream: [List.length]
+    is [min (sampled ()) capacity].  [seq] values keep the global
+    emission numbering, so they are non-contiguous while sampling. *)
 val events : unit -> event list
 
-(** [seen ()] counts every event emitted since {!start}. *)
+(** [seen ()] counts every event emitted since {!start}, sampled-out
+    ones included. *)
 val seen : unit -> int
 
-(** [dropped ()] counts events lost to ring overflow
+(** [sampled ()] counts the events the sampler admitted ([= seen ()]
+    when not sampling). *)
+val sampled : unit -> int
+
+(** [dropped ()] counts events lost to the sampler or to ring overflow
     ([seen () - retained]). *)
 val dropped : unit -> int
 
@@ -103,19 +123,29 @@ val dropped : unit -> int
 
 type format = Native | Chrome
 
-(** [parse_spec s] parses the CLI's [FILE[,chrome]] syntax: a trailing
-    [,chrome] (or [,native]) selects the format, anything else is a plain
-    file name traced natively. *)
-val parse_spec : string -> (string * format) option
+(** A parsed [--trace] argument. *)
+type spec = {
+  file : string;
+  format : format;  (** default [Native] *)
+  sample : sample option;  (** default [None] — keep everything *)
+  sample_seed : int;  (** default [1] *)
+}
 
-(** [pp_spec ppf (file, fmt)] prints the spec back in [FILE[,chrome]]
-    form. *)
-val pp_spec : Format.formatter -> string * format -> unit
+(** [parse_spec s] parses the CLI's
+    [FILE[,chrome|,native][,sample=R|,sample=1/N][,seed=N]] syntax.
+    Option tokens are recognized from the right, so a comma inside the
+    file name still parses; a malformed recognized option (e.g.
+    [sample=nope], a rate outside (0, 1]) is an [Error] with a
+    human-readable message. *)
+val parse_spec : string -> (spec, string) result
+
+(** [pp_spec ppf spec] prints the spec back in [parse_spec] syntax. *)
+val pp_spec : Format.formatter -> spec -> unit
 
 (** [to_json ()] is the native document:
     {v
     { "schema": "ftspan.trace.v1",
-      "created_unix": ..., "seen": n, "dropped": d,
+      "created_unix": ..., "seen": n, "sampled": s, "dropped": d,
       "events": [ { "seq": 0, "ts_s": 0.0012, "type": "lbc_begin",
                     "edge": 17, "u": 3, "v": 9, "t": 3, "alpha": 2 }, ... ] }
     v} *)

@@ -181,6 +181,62 @@ if "$COMPARE" --slack 2 "$BASELINE" "$TMP/bench-inflated.json" >/dev/null; then
   fail "compare must reject an inflated counter"
 fi
 
+# trace sampling: a sampled run reports its accounting, and the same
+# sampling seed replays the same kept set bit-for-bit (jobs pinned to 1:
+# parallel emission order is legitimately nondeterministic)
+"$BIN" build -k 2 -f 1 --jobs 1 --seed 11 "$TMP/s.graph" \
+  --trace "$TMP/t-s1.json,sample=0.25,seed=7" | grep -q "sampled" \
+  || fail "sampled trace must report sampled count"
+"$BIN" build -k 2 -f 1 --jobs 1 --seed 11 "$TMP/s.graph" \
+  --trace "$TMP/t-s2.json,sample=0.25,seed=7" >/dev/null \
+  || fail "sampled trace rerun"
+sed '/"created_unix"/d; /"ts_s"/d' "$TMP/t-s1.json" > "$TMP/t-s1.stable"
+sed '/"created_unix"/d; /"ts_s"/d' "$TMP/t-s2.json" > "$TMP/t-s2.stable"
+cmp -s "$TMP/t-s1.stable" "$TMP/t-s2.stable" \
+  || fail "same sampling seed must keep the identical event set"
+# ... and a different seed keeps a different set
+"$BIN" build -k 2 -f 1 --jobs 1 --seed 11 "$TMP/s.graph" \
+  --trace "$TMP/t-s3.json,sample=0.25,seed=8" >/dev/null \
+  || fail "sampled trace with another seed"
+sed '/"created_unix"/d; /"ts_s"/d' "$TMP/t-s3.json" > "$TMP/t-s3.stable"
+cmp -s "$TMP/t-s1.stable" "$TMP/t-s3.stable" \
+  && fail "different sampling seeds must not keep the identical event set"
+
+# heartbeat stream: ops-paced beats from the CLI validate under the
+# stream gate, and the quantile block carries the new latency series
+"$BIN" congest --seed 11 -k 2 -f 1 -c 0.5 --chaos "$CHAOS" \
+  --metrics-stream "$TMP/hb.jsonl,ops=16" "$TMP/s.graph" \
+  | grep -q "metrics stream written" || fail "congest --metrics-stream"
+grep -q '"schema":"ftspan.heartbeat.v1"' "$TMP/hb.jsonl" \
+  || fail "heartbeat schema tag"
+grep -q '"reliable.rtt"' "$TMP/hb.jsonl" \
+  || fail "heartbeat must carry the reliable.rtt series"
+grep -q '"p99"' "$TMP/hb.jsonl" || fail "heartbeat must carry quantiles"
+"$COMPARE" --check-heartbeat "$TMP/hb.jsonl" >/dev/null \
+  || fail "compare --check-heartbeat must accept the stream"
+
+# bench heartbeat + sampled trace in one run
+"$BENCH" --smoke --match smoke-lbc --metrics-stream "$TMP/hb-bench.jsonl,ops=256" \
+  --trace "$TMP/t-bench.json,sample=0.5,seed=3" \
+  | grep -q "metrics stream written" || fail "bench --metrics-stream"
+"$COMPARE" --check-heartbeat "$TMP/hb-bench.jsonl" >/dev/null \
+  || fail "bench heartbeat stream must validate"
+
+# malformed observability specs: bench rejects them with usage (exit 2),
+# the CLI with a nonzero cmdliner error
+"$BENCH" --trace "$TMP/x.json,sample=nope" --match no-such-job >/dev/null 2>&1
+[ $? -eq 2 ] || fail "bench bad sample spec must exit 2"
+"$BENCH" --metrics-stream "$TMP/x.jsonl,ops=0" --match no-such-job >/dev/null 2>&1
+[ $? -eq 2 ] || fail "bench ops=0 must exit 2"
+"$BENCH" --metrics-stream "$TMP/x.jsonl,-1.5" --match no-such-job >/dev/null 2>&1
+[ $? -eq 2 ] || fail "bench negative interval must exit 2"
+"$BIN" build -k 2 -f 1 "$TMP/s.graph" --trace "$TMP/x.json,sample=2.0" \
+  >/dev/null 2>&1 && fail "CLI sample > 1 accepted"
+"$BIN" build -k 2 -f 1 "$TMP/s.graph" --metrics-stream "$TMP/x.jsonl,ops=zero" \
+  >/dev/null 2>&1 && fail "CLI ops=zero accepted"
+"$COMPARE" --check-heartbeat /dev/null >/dev/null 2>&1 \
+  && fail "empty heartbeat stream accepted"
+
 # failure paths: unknown family, bad file, bad algo
 "$BIN" generate --family nope -n 5 -o "$TMP/x" >/dev/null 2>&1 && fail "bad family accepted"
 "$BIN" info /nonexistent.graph >/dev/null 2>&1 && fail "missing file accepted"

@@ -103,6 +103,112 @@ let test_histogram_overflow () =
   let view = List.assoc "test.hist_over" snap.Obs.histograms in
   checki "overflow bucket" 1 (List.assoc None view.Obs.h_buckets)
 
+(* ------------------------- quantiles --------------------------------- *)
+
+let test_quantile_edges () =
+  fresh ();
+  let empty = Obs.histogram_log "test.q_empty" in
+  checkf "empty histogram -> 0" 0.0 (Obs.Histogram.quantile empty 0.99);
+  let one = Obs.histogram_log "test.q_one" in
+  Obs.Histogram.observe one 0.125;
+  (* a single sample is every quantile, exactly: the covering bucket's
+     upper bound is clamped into [min, max] = [0.125, 0.125] *)
+  List.iter
+    (fun q -> checkf "one sample" 0.125 (Obs.Histogram.quantile one q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  let over = Obs.histogram_log "test.q_over" in
+  Obs.Histogram.observe over 1e12;
+  (* the overflow bucket has no upper bound; the max makes it exact *)
+  checkf "overflow sample" 1e12 (Obs.Histogram.quantile over 0.5);
+  checkb "q outside [0,1] rejected" true
+    (try
+       ignore (Obs.Histogram.quantile one 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_quantile_order () =
+  fresh ();
+  let h = Obs.histogram_log "test.q_order" in
+  (* 100 samples spread over three decades: quantiles must be monotone in
+     q and bracketed by the extremes *)
+  for i = 1 to 100 do
+    Obs.Histogram.observe h (0.001 *. float_of_int i)
+  done;
+  let q50 = Obs.Histogram.quantile h 0.5
+  and q90 = Obs.Histogram.quantile h 0.9
+  and q99 = Obs.Histogram.quantile h 0.99 in
+  checkb "p50 <= p90" true (q50 <= q90);
+  checkb "p90 <= p99" true (q90 <= q99);
+  checkb "p50 above min" true (q50 >= 0.001);
+  checkb "p99 at most max" true (q99 <= 0.1);
+  (* log-linear buckets are decade-relative: the p50 estimate must land
+     within one sub-bucket (~11%) of the true median 0.050 *)
+  checkb "p50 near true median" true (q50 >= 0.045 && q50 <= 0.06);
+  (* pow2 histograms answer quantiles too *)
+  let p = Obs.histogram "test.q_pow2" in
+  List.iter (Obs.Histogram.observe_int p) [ 1; 2; 3; 4; 100 ];
+  checkb "pow2 p50 in [2,4]" true
+    (let v = Obs.Histogram.quantile p 0.5 in
+     v >= 2.0 && v <= 4.0)
+
+let test_quantiles_in_snapshot () =
+  fresh ();
+  let h = Obs.histogram_log "test.q_snap" in
+  Obs.Histogram.observe h 0.25;
+  let snap = Obs.snapshot () in
+  let view = List.assoc "test.q_snap" snap.Obs.histograms in
+  List.iter
+    (fun label ->
+      checkf ("snapshot " ^ label) 0.25
+        (List.assoc label view.Obs.h_quantiles))
+    [ "p50"; "p90"; "p99"; "p999" ]
+
+(* --------------------------- shards ----------------------------------- *)
+
+let test_shard_merge_equals_single () =
+  fresh ();
+  let t = Obs.timer "test.shard_timer" in
+  let h = Obs.histogram "test.shard_hist" in
+  (* three spawned domains plus the main one record concurrently; totals
+     must equal the single-domain sum exactly once every domain joined *)
+  let work_timer () =
+    for _ = 1 to 100 do
+      Obs.Timer.record t 0.001
+    done
+  in
+  let work_hist seed =
+    for i = 1 to 100 do
+      Obs.Histogram.observe_int h ((seed * i) mod 64)
+    done
+  in
+  let domains =
+    List.init 3 (fun d ->
+        Domain.spawn (fun () ->
+            work_timer ();
+            work_hist (d + 2)))
+  in
+  work_timer ();
+  work_hist 1;
+  List.iter Domain.join domains;
+  checki "timer count merges" 400 (Obs.Timer.count t);
+  checkb "timer total merges" true
+    (abs_float (Obs.Timer.total_s t -. 0.4) < 1e-9);
+  checki "histogram count merges" 400 (Obs.Histogram.count h);
+  let expected_sum =
+    let s = ref 0 in
+    List.iter
+      (fun seed ->
+        for i = 1 to 100 do
+          s := !s + ((seed * i) mod 64)
+        done)
+      [ 1; 2; 3; 4 ];
+    float_of_int !s
+  in
+  checkf "histogram sum merges" expected_sum (Obs.Histogram.sum h);
+  (* reset clears every shard, not just the calling domain's *)
+  Obs.reset ();
+  checki "reset clears shards" 0 (Obs.Timer.count t)
+
 (* --------------------------- spans ----------------------------------- *)
 
 let test_span_nesting () =
@@ -435,6 +541,185 @@ let test_native_trace_roundtrip () =
   checks "typed record" "cluster_stats"
     (get_exn "type" (Obs_json.to_str (member [ "type" ] (List.hd evs))))
 
+(* ------------------------- trace sampling ----------------------------- *)
+
+let emit_mixed_workload () =
+  for i = 0 to 199 do
+    Obs_trace.emit (Obs_trace.Lbc_begin { edge = i; u = 0; v = 1; t = 3; alpha = 1 });
+    Obs_trace.emit
+      (Obs_trace.Lbc_end
+         { edge = i; yes = i mod 3 = 0; bfs_rounds = 2; cut_size = 0 });
+    Obs_trace.emit (Obs_trace.Greedy_edge { edge = i; kept = i mod 3 = 0; weight = 1.0 });
+    if i mod 50 = 0 then
+      Obs_trace.emit (Obs_trace.Phase { name = "block"; index = i / 50 })
+  done;
+  Obs_trace.emit (Obs_trace.Chaos_event { kind = "crash"; src = 3; dst = -1 })
+
+let sampled_run ?sample ?sample_seed () =
+  Obs_trace.start ?sample ?sample_seed ();
+  Fun.protect ~finally:Obs_trace.stop (fun () ->
+      emit_mixed_workload ();
+      let evs =
+        List.map
+          (fun ev -> (ev.Obs_trace.seq, ev.Obs_trace.payload))
+          (Obs_trace.events ())
+      in
+      (evs, Obs_trace.seen (), Obs_trace.sampled (), Obs_trace.dropped ()))
+
+let test_sampling_accounting () =
+  fresh ();
+  let evs, seen, sampled, dropped = sampled_run ~sample:(Obs_trace.Rate 0.1) () in
+  checki "every emission seen" 605 seen;
+  checkb "a strict subset admitted" true (sampled > 0 && sampled < seen);
+  checki "retained = admitted (no ring overflow)" sampled (List.length evs);
+  checki "seen = retained + dropped" seen (List.length evs + dropped);
+  (* phase markers and fault events bypass the sampler *)
+  let count p = List.length (List.filter (fun (_, pl) -> p pl) evs) in
+  checki "all phases kept" 4
+    (count (function Obs_trace.Phase _ -> true | _ -> false));
+  checki "crash kept" 1
+    (count (function Obs_trace.Chaos_event { kind = "crash"; _ } -> true | _ -> false));
+  (* Lbc begin/end are pair-sampled: balanced per edge *)
+  let begins =
+    List.filter_map
+      (fun (_, pl) ->
+        match pl with Obs_trace.Lbc_begin { edge; _ } -> Some edge | _ -> None)
+      evs
+  in
+  let ends =
+    List.filter_map
+      (fun (_, pl) ->
+        match pl with Obs_trace.Lbc_end { edge; _ } -> Some edge | _ -> None)
+      evs
+  in
+  checkb "lbc pairs balanced" true (List.sort compare begins = List.sort compare ends)
+
+let test_sampling_deterministic () =
+  fresh ();
+  let a = sampled_run ~sample:(Obs_trace.Rate 0.25) ~sample_seed:42 () in
+  fresh ();
+  let b = sampled_run ~sample:(Obs_trace.Rate 0.25) ~sample_seed:42 () in
+  let evs_a, _, _, _ = a and evs_b, _, _, _ = b in
+  checkb "same seed -> identical kept set" true (evs_a = evs_b);
+  fresh ();
+  let evs_c, _, _, _ = sampled_run ~sample:(Obs_trace.Rate 0.25) ~sample_seed:43 () in
+  checkb "different seed -> different kept set" true (evs_a <> evs_c)
+
+let test_sampling_one_in_n () =
+  fresh ();
+  (* 1/1 keeps everything — the sampler is bypassed entirely *)
+  let evs, seen, sampled, dropped = sampled_run ~sample:(Obs_trace.One_in 1) () in
+  checki "1/1 keeps all" seen sampled;
+  checki "1/1 drops none" 0 dropped;
+  checki "1/1 retains all" seen (List.length evs);
+  checkb "invalid rate rejected" true
+    (try
+       Obs_trace.start ~sample:(Obs_trace.Rate 1.5) ();
+       Obs_trace.stop ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_spec_parsing () =
+  let ok s = function
+    | Ok spec -> spec
+    | Error msg -> Alcotest.failf "spec %S rejected: %s" s msg
+  in
+  let spec = ok "t.json" (Obs_trace.parse_spec "t.json") in
+  checks "bare file" "t.json" spec.Obs_trace.file;
+  checkb "default native" true (spec.Obs_trace.format = Obs_trace.Native);
+  checkb "default unsampled" true (spec.Obs_trace.sample = None);
+  let spec = ok "full" (Obs_trace.parse_spec "t.json,chrome,sample=1/8,seed=7") in
+  checkb "chrome parsed" true (spec.Obs_trace.format = Obs_trace.Chrome);
+  checkb "1/N parsed" true (spec.Obs_trace.sample = Some (Obs_trace.One_in 8));
+  checki "seed parsed" 7 spec.Obs_trace.sample_seed;
+  let spec = ok "rate" (Obs_trace.parse_spec "t.json,sample=0.01") in
+  checkb "rate parsed" true (spec.Obs_trace.sample = Some (Obs_trace.Rate 0.01));
+  List.iter
+    (fun s ->
+      checkb ("rejected: " ^ s) true (Result.is_error (Obs_trace.parse_spec s)))
+    [ ""; ",chrome"; "t.json,sample=nope"; "t.json,sample=2.0"; "t.json,sample=1/0"; "t.json,seed=x" ]
+
+(* --------------------------- heartbeat -------------------------------- *)
+
+let test_heartbeat_spec_parsing () =
+  let ok s = function
+    | Ok spec -> spec
+    | Error msg -> Alcotest.failf "spec %S rejected: %s" s msg
+  in
+  let spec = ok "bare" (Obs_heartbeat.parse_spec "hb.jsonl") in
+  checks "file" "hb.jsonl" spec.Obs_heartbeat.file;
+  checkb "no interval" true (spec.Obs_heartbeat.interval_s = None);
+  checkb "no ops" true (spec.Obs_heartbeat.every_ops = None);
+  let spec = ok "interval" (Obs_heartbeat.parse_spec "hb.jsonl,0.5") in
+  checkb "interval parsed" true (spec.Obs_heartbeat.interval_s = Some 0.5);
+  let spec = ok "ops" (Obs_heartbeat.parse_spec "hb.jsonl,ops=4096") in
+  checkb "ops parsed" true (spec.Obs_heartbeat.every_ops = Some 4096);
+  List.iter
+    (fun s ->
+      checkb ("rejected: " ^ s) true
+        (Result.is_error (Obs_heartbeat.parse_spec s)))
+    [ ""; ",0.5"; "hb.jsonl,ops=0"; "hb.jsonl,ops=x"; "hb.jsonl,-1.0"; "hb.jsonl,0" ]
+
+let test_heartbeat_stream () =
+  fresh ();
+  let file = Filename.temp_file "ftspan_hb" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      (match Obs_heartbeat.parse_spec (file ^ ",ops=10") with
+      | Ok spec -> Obs_heartbeat.start spec
+      | Error msg -> Alcotest.failf "spec rejected: %s" msg);
+      let c = Obs.counter "test.hb_counter" in
+      let h = Obs.histogram_log "test.hb_lat" in
+      for i = 1 to 35 do
+        Obs.Counter.incr c;
+        Obs.Histogram.observe h (0.001 *. float_of_int i);
+        Obs_heartbeat.pulse ()
+      done;
+      Obs_heartbeat.stop ();
+      (* 3 cadence beats (ops 10/20/30) + the final beat on stop *)
+      checki "beats counted" 4 (Obs_heartbeat.beats ());
+      let ic = open_in file in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      checki "one line per beat" 4 (List.length lines);
+      let beats =
+        List.map
+          (fun line ->
+            match Obs_json.of_string line with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "beat unparseable: %s" e)
+          lines
+      in
+      List.iteri
+        (fun i j ->
+          checks "schema" "ftspan.heartbeat.v1"
+            (get_exn "schema" (Obs_json.to_str (member [ "schema" ] j)));
+          checki "beat index" i
+            (get_exn "beat" (Obs_json.to_int (member [ "beat" ] j))))
+        beats;
+      (* counters carry deltas since the previous beat: 10,10,10,5 *)
+      let deltas =
+        List.map
+          (fun j ->
+            get_exn "delta"
+              (Obs_json.to_int (member [ "counters"; "test.hb_counter" ] j)))
+          beats
+      in
+      checkb "counter deltas" true (deltas = [ 10; 10; 10; 5 ]);
+      (* every beat carries the latency quantiles *)
+      List.iter
+        (fun j ->
+          ignore
+            (get_exn "p99"
+               (Obs_json.to_number (member [ "quantiles"; "test.hb_lat"; "p99" ] j))))
+        beats)
+
 (* --------------------------- compare ---------------------------------- *)
 
 let report entries =
@@ -538,6 +823,18 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "histogram overflow" `Quick test_histogram_overflow;
         ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "edge cases" `Quick test_quantile_edges;
+          Alcotest.test_case "monotone and accurate" `Quick test_quantile_order;
+          Alcotest.test_case "snapshot carries quantiles" `Quick
+            test_quantiles_in_snapshot;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "merge equals single-domain totals" `Quick
+            test_shard_merge_equals_single;
+        ] );
       ( "spans",
         [
           Alcotest.test_case "nesting and merge" `Quick test_span_nesting;
@@ -569,6 +866,19 @@ let () =
             test_chrome_unmatched_end_elided;
           Alcotest.test_case "native round-trip" `Quick
             test_native_trace_roundtrip;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "accounting" `Quick test_sampling_accounting;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_sampling_deterministic;
+          Alcotest.test_case "one-in-n" `Quick test_sampling_one_in_n;
+          Alcotest.test_case "spec parsing" `Quick test_trace_spec_parsing;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_heartbeat_spec_parsing;
+          Alcotest.test_case "jsonl stream" `Quick test_heartbeat_stream;
         ] );
       ( "compare",
         [

@@ -4,6 +4,7 @@
      compare.exe [--slack F] [--tol-wall F] [--tol-wall-abs S]
                  [--tol-counter F] BASELINE.json RUN.json
      compare.exe --check-heartbeat STREAM.jsonl
+     compare.exe --check-trace TRACE.json
 
    Entries are matched by id; the wall time and every counter are judged
    by Obs_compare against per-metric tolerances (counters tight — the
@@ -20,16 +21,26 @@
    carries the schema tag, at least one beat reports quantiles), so the
    @obs-stream-check alias can assert the streaming plane end to end.
 
+   [--check-trace] is the third: it validates an ftspan.trace.v1
+   document structurally (Obs_analyze.validate — per-event fields,
+   monotonic seqs, lifecycle pairing), so the @trace-analyze-check alias
+   can assert the causal-tracing plane end to end.  A file that is not a
+   v1 trace at all is a usage-class failure (exit 2); a trace that
+   parses but violates the structural contract is a gate failure
+   (exit 1).
+
    Exit status: 0 when every metric is within tolerance (improvements
-   included) / the stream is valid, 1 on any regression, baseline metric
-   missing from the run, or semantically invalid stream, 2 on usage or
-   parse errors — the same error/usage split as main.exe. *)
+   included) / the stream or trace is valid, 1 on any regression,
+   baseline metric missing from the run, or semantically invalid
+   stream/trace, 2 on usage or parse errors — the same error/usage
+   split as main.exe. *)
 
 let usage () =
   prerr_endline
     "usage: compare.exe [--slack F] [--tol-wall F] [--tol-wall-abs S] \
      [--tol-counter F] BASELINE.json RUN.json";
   prerr_endline "       compare.exe --check-heartbeat STREAM.jsonl";
+  prerr_endline "       compare.exe --check-trace TRACE.json";
   exit 2
 
 let bad fmt =
@@ -101,6 +112,27 @@ let check_heartbeat file =
   end;
   print_endline "OK: valid ftspan.heartbeat.v1 stream"
 
+(* Validate one ftspan.trace.v1 document.  Not-a-trace (I/O error, JSON
+   syntax, wrong schema, missing top-level fields) is usage-class, exit
+   2; a trace whose events break the structural contract — malformed
+   typed events, non-monotonic seqs, inconsistent accounting, deliveries
+   without their send on a lossless trace — is a gate failure, exit 1. *)
+let check_trace file =
+  match Obs_analyze.load file with
+  | Error msg -> bad "%s" msg
+  | Ok tr -> (
+      match Obs_analyze.validate tr with
+      | [] ->
+          Printf.printf
+            "trace %s: %d events (%d seen, %d sampled, %d dropped)\n" file
+            (List.length tr.Obs_analyze.t_events)
+            tr.Obs_analyze.t_seen tr.Obs_analyze.t_sampled
+            tr.Obs_analyze.t_dropped;
+          print_endline "OK: valid ftspan.trace.v1 document"
+      | violations ->
+          List.iter (fun v -> Printf.printf "INVALID: %s\n" v) violations;
+          exit 1)
+
 (* Which gate carve-outs actually fired: the prefixes under which either
    document has at least one counter.  Printed so a reader of the gate
    log can see what was deliberately not compared. *)
@@ -135,12 +167,16 @@ let () =
     | _ -> bad "%s expects a positive number, got %S" name s
   in
   let heartbeat = ref None in
+  let trace = ref None in
   let rec go = function
     | [] -> ()
     | "--check-heartbeat" :: v :: rest ->
         heartbeat := Some v;
         go rest
-    | [ "--check-heartbeat" ] -> bad "missing option value"
+    | "--check-trace" :: v :: rest ->
+        trace := Some v;
+        go rest
+    | [ ("--check-heartbeat" | "--check-trace") ] -> bad "missing option value"
     | "--slack" :: v :: rest ->
         slack := float_of "--slack" v;
         go rest
@@ -162,12 +198,17 @@ let () =
         go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (match (!heartbeat, !files) with
-  | Some file, [] ->
+  (match (!heartbeat, !trace, !files) with
+  | Some file, None, [] ->
       check_heartbeat file;
       exit 0
-  | Some _, _ -> bad "--check-heartbeat takes no report files"
-  | None, _ -> ());
+  | None, Some file, [] ->
+      check_trace file;
+      exit 0
+  | Some _, Some _, _ -> bad "--check-heartbeat and --check-trace are exclusive"
+  | Some _, None, _ -> bad "--check-heartbeat takes no report files"
+  | None, Some _, _ -> bad "--check-trace takes no report files"
+  | None, None, _ -> ());
   let base_file, run_file =
     match List.rev !files with
     | [ b; r ] -> (b, r)

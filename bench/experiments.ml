@@ -808,6 +808,46 @@ let smoke_synchronizer_lossy () =
     lossy.Synchronizer.pulses
     (verdict (lossy.Synchronizer.pulses = clean.Synchronizer.pulses))
 
+let congest_hotpath () =
+  banner
+    "congest-hotpath - per-edge physical congestion under a dup-heavy \
+     chaos plan (n=32, 8 broadcast rounds)";
+  let rng = Rng.create ~seed in
+  let g = Generators.connected_gnp rng ~n:32 ~p:0.2 in
+  let skel = Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 g in
+  let flood chaos =
+    let net =
+      match chaos with
+      | None -> Net.create ~model:Net.Local ~bits:(fun _ -> 16) g
+      | Some ch -> Net.create ~chaos:ch ~model:Net.Local ~bits:(fun _ -> 16) g
+    in
+    Net.set_skeleton net skel.Selection.selected;
+    for _ = 1 to 8 do
+      for v = 0 to Graph.n g - 1 do
+        Net.broadcast net ~src:v v
+      done;
+      Net.next_round net
+    done;
+    net
+  in
+  let clean = flood None in
+  let lossy = flood (Some (Chaos.start (Chaos.plan ~dup:0.25 ~seed:11 ()))) in
+  let sc = Net.stats clean and sl = Net.stats lossy in
+  row "  offered load: %d messages / %d bits, %s" sl.Net.messages
+    sl.Net.total_bits
+    (verdict
+       (sc.Net.messages = sl.Net.messages
+       && sc.Net.total_bits = sl.Net.total_bits));
+  row "  physical hot slot: %d bits/round clean, %d bits/round with dup=0.25"
+    sc.Net.max_edge_round_bits sl.Net.max_edge_round_bits;
+  row "  spanner-edge bits %d vs other %d (skeleton %d/%d edges)"
+    (Obs.Counter.value (Obs.counter "net.bits.spanner"))
+    (Obs.Counter.value (Obs.counter "net.bits.other"))
+    skel.Selection.size (Graph.m g);
+  List.iter
+    (fun he -> row "  hot: %s" (Format.asprintf "%a" Net.pp_hot_edge he))
+    (Net.hot_edges ~top:5 lossy)
+
 let greedy_parallel () =
   let jobs = Exec.default_jobs () in
   banner
@@ -836,6 +876,7 @@ let smoke =
     ("smoke-distributed", smoke_distributed);
     ("greedy-parallel", greedy_parallel);
     ("synchronizer-lossy", smoke_synchronizer_lossy);
+    ("congest-hotpath", congest_hotpath);
   ]
 
 let all =

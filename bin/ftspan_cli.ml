@@ -6,7 +6,8 @@
      build      construct a fault-tolerant spanner and report its summary
      verify     check a spanner selection against sampled/exhaustive faults
      local      run the LOCAL-model construction on the simulator
-     congest    run the CONGEST-model construction on the simulator *)
+     congest    run the CONGEST-model construction on the simulator
+     trace      offline analysis of recorded event traces *)
 
 open Cmdliner
 
@@ -611,6 +612,65 @@ let prune_cmd =
        ~doc:"Minimalize a spanner selection by sound exact pruning (small inputs).")
     term
 
+(* ------------------------------ trace ---------------------------------- *)
+
+let trace_file_arg =
+  let doc = "Trace file (ftspan.trace.v1 JSON, as written by --trace)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let trace_json_arg =
+  let doc = "Emit the report as a ftspan.trace-report.v1 JSON document." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let trace_top_arg =
+  let doc = "Edges to keep in the per-edge leaderboard." in
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
+
+(* Malformed input is a usage-class failure: report on stderr and exit 2
+   directly (term_result would map `Msg errors to 124). *)
+let trace_analyze_cmd =
+  let run file json top =
+    if top < 0 then begin
+      Printf.eprintf "ftspan trace analyze: --top must be >= 0 (got %d)\n" top;
+      exit 2
+    end;
+    (match Obs_analyze.load file with
+    | Error msg ->
+        Printf.eprintf "ftspan trace analyze: %s\n" msg;
+        exit 2
+    | Ok tr -> (
+        match Obs_analyze.validate tr with
+        | _ :: _ as violations ->
+            List.iter
+              (fun v -> Printf.eprintf "ftspan trace analyze: %s: %s\n" file v)
+              violations;
+            exit 2
+        | [] ->
+            let report = Obs_analyze.analyze ~top tr in
+            if json then
+              print_endline
+                (Obs_json.to_string ~indent:true
+                   (Obs_analyze.json_of_report report))
+            else Format.printf "%a@." Obs_analyze.pp_report report));
+    Ok ()
+  in
+  let term =
+    Term.(term_result (const run $ trace_file_arg $ trace_json_arg $ trace_top_arg))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Reconstruct message lifecycles from a trace: delivery-latency \
+          quantiles, per-edge retransmit amplification, reorder depth, and \
+          the synchronizer critical path.")
+    term
+
+let trace_cmd =
+  let doc = "Offline analysis of recorded event traces." in
+  let info = Cmd.info "trace" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, Some "trace")))) in
+  Cmd.group ~default info [ trace_analyze_cmd ]
+
 (* ------------------------------ main ----------------------------------- *)
 
 let () =
@@ -622,5 +682,5 @@ let () =
        (Cmd.group ~default info
           [
             generate_cmd; info_cmd; build_cmd; verify_cmd; local_cmd;
-            congest_cmd; oracle_cmd; prune_cmd;
+            congest_cmd; oracle_cmd; prune_cmd; trace_cmd;
           ]))

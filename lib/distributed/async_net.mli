@@ -42,6 +42,35 @@ val max_delay : t -> float
     Raises [Invalid_argument] for non-adjacent pairs. *)
 val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
 
+(** [transmit net ?cid ~src ~dst handler] is {!send} returning the
+    message's causal id (minted while tracing, [-1] otherwise; pass
+    [cid] to re-send under an existing identity — {!Reliable.Async}
+    does for retransmits).  While tracing, emits one [Msg_send] (with
+    [bits = 1]: the async plane counts messages, not bits) and each
+    surviving copy emits a [Msg_deliver] with the same id when its
+    handler fires. *)
+val transmit : t -> ?cid:int -> src:int -> dst:int -> (unit -> unit) -> int
+
+(** [set_skeleton net mask] arms spanner-vs-rest congestion attribution
+    ([mask] has one flag per edge id): every physical message copy from
+    then on bumps [net.msgs.spanner] or [net.msgs.other].  Raises
+    [Invalid_argument] on a size mismatch. *)
+val set_skeleton : t -> bool array -> unit
+
+type hot_edge = Net.hot_edge = {
+  he_edge : int;
+  he_dir : int;
+  he_bits : int;  (** here: physical message copies over the run *)
+  he_rounds : int;  (** always [0] — the async plane has no rounds *)
+}
+
+(** [hot_edges ?top net] is the congestion leaderboard: the [top]
+    (default 10) busiest directed slots by physical message copies,
+    busiest first, ties toward the smaller edge id.  Like
+    {!Net.hot_edges} but counting messages; [he_rounds] is [0].
+    Raises [Invalid_argument] on negative [top]. *)
+val hot_edges : ?top:int -> t -> hot_edge list
+
 (** [at net ~time handler] schedules a timer ([time] must not be in the
     past). *)
 val at : t -> time:float -> (unit -> unit) -> unit

@@ -144,9 +144,9 @@ let m_reorders = Obs.counter "net.reorders"
 let retries_counter = Obs.counter "net.retries"
 let giveups_counter = Obs.counter "net.giveups"
 
-let trace kind ~src ~dst =
+let trace ?(cid = -1) kind ~src ~dst =
   if Obs_trace.enabled () then
-    Obs_trace.emit (Obs_trace.Chaos_event { kind; src; dst })
+    Obs_trace.emit (Obs_trace.Chaos_event { kind; cid; src; dst })
 
 (* ------------------------------- state ------------------------------- *)
 
@@ -171,44 +171,44 @@ let crashed st ~node ~time =
     (fun (v, from_t, until_t) -> v = node && time >= from_t && time < until_t)
     st.plan.crashes
 
-let note_drop st ~src ~dst =
+let note_drop ?cid st ~src ~dst =
   st.drops <- st.drops + 1;
   Obs.Counter.incr m_drops;
-  trace "drop" ~src ~dst
+  trace ?cid "drop" ~src ~dst
 
-let draw_drop st ~src ~dst =
+let draw_drop ?cid st ~src ~dst =
   let hit = st.plan.drop > 0. && Rng.bernoulli st.rng ~p:st.plan.drop in
-  if hit then note_drop st ~src ~dst;
+  if hit then note_drop ?cid st ~src ~dst;
   hit
 
-let draw_dup st ~src ~dst =
+let draw_dup ?cid st ~src ~dst =
   let hit = st.plan.dup > 0. && Rng.bernoulli st.rng ~p:st.plan.dup in
   if hit then begin
     st.dups <- st.dups + 1;
     Obs.Counter.incr m_dups;
-    trace "dup" ~src ~dst
+    trace ?cid "dup" ~src ~dst
   end;
   hit
 
-let draw_lag st ~src ~dst =
+let draw_lag ?cid st ~src ~dst =
   if st.plan.reorder = 0 then 0
   else begin
     let lag = Rng.int st.rng (st.plan.reorder + 1) in
     if lag > 0 then begin
       st.reorders <- st.reorders + 1;
       Obs.Counter.incr m_reorders;
-      trace "reorder" ~src ~dst
+      trace ?cid "reorder" ~src ~dst
     end;
     lag
   end
 
-let draw_spike st ~src ~dst =
+let draw_spike ?cid st ~src ~dst =
   if st.plan.spike > 0. && Rng.bernoulli st.rng ~p:st.plan.spike then begin
     st.reorders <- st.reorders + 1;
     Obs.Counter.incr m_reorders;
-    trace "spike" ~src ~dst;
+    trace ?cid "spike" ~src ~dst;
     st.plan.spike_factor
   end
   else 1.0
 
-let count_crash_drop st ~src ~dst = note_drop st ~src ~dst
+let count_crash_drop ?cid st ~src ~dst = note_drop ?cid st ~src ~dst

@@ -101,26 +101,27 @@ val crashed : state -> node:int -> time:float -> bool
 
     Each draw advances the private stream and bumps the matching counter
     and (while tracing) emits a [chaos] event; [src]/[dst] label the
-    affected message. *)
+    affected message and [cid] is its causal id (default [-1] = none),
+    so a traced fate joins the message's lifecycle. *)
 
 (** [draw_drop st ~src ~dst] decides whether this copy is destroyed. *)
-val draw_drop : state -> src:int -> dst:int -> bool
+val draw_drop : ?cid:int -> state -> src:int -> dst:int -> bool
 
 (** [draw_dup st ~src ~dst] decides whether the network duplicates this
     message. *)
-val draw_dup : state -> src:int -> dst:int -> bool
+val draw_dup : ?cid:int -> state -> src:int -> dst:int -> bool
 
 (** [draw_lag st ~src ~dst] draws a synchronous reorder lag in
     [[0, reorder]] (counted when positive). *)
-val draw_lag : state -> src:int -> dst:int -> int
+val draw_lag : ?cid:int -> state -> src:int -> dst:int -> int
 
 (** [draw_spike st ~src ~dst] draws an asynchronous delay multiplier:
     [1.0], or [spike_factor] with probability [spike] (counted). *)
-val draw_spike : state -> src:int -> dst:int -> float
+val draw_spike : ?cid:int -> state -> src:int -> dst:int -> float
 
 (** [count_crash_drop st ~src ~dst] records a copy destroyed because an
     endpoint was crashed (no stream consumption). *)
-val count_crash_drop : state -> src:int -> dst:int -> unit
+val count_crash_drop : ?cid:int -> state -> src:int -> dst:int -> unit
 
 (** {1 Shared telemetry}
 

@@ -9,6 +9,13 @@ let m_bits = Obs.counter "net.bits"
 let m_violations = Obs.counter "net.congest_violations"
 let h_msg_bits = Obs.histogram "net.message_bits"
 
+(* Congestion analytics: physical per-(edge, direction, round) load —
+   duplicate copies included, unlike the offered-load stats — plus the
+   spanner-vs-rest attribution split armed by [set_skeleton]. *)
+let h_edge_round_load = Obs.histogram_log "net.edge_round_load"
+let m_bits_spanner = Obs.counter "net.bits.spanner"
+let m_bits_other = Obs.counter "net.bits.other"
+
 type stats = {
   rounds : int;
   messages : int;
@@ -24,6 +31,17 @@ let pp_stats ppf s =
     s.rounds s.messages s.total_bits s.max_message_bits s.max_edge_round_bits
     s.congest_violations
 
+type hot_edge = {
+  he_edge : int;
+  he_dir : int;
+  he_bits : int;  (* cumulative physical bits over the run *)
+  he_rounds : int;  (* rounds this directed slot carried traffic *)
+}
+
+let pp_hot_edge ppf h =
+  Format.fprintf ppf "edge=%d dir=%d bits=%d rounds=%d" h.he_edge h.he_dir
+    h.he_bits h.he_rounds
+
 type 'msg t = {
   g : Graph.t;
   model : model;
@@ -31,10 +49,10 @@ type 'msg t = {
   record_history : bool;
   chaos : Chaos.state option;
   (* copies lagging behind their send round (chaos reordering):
-     (rounds still to wait, src, dst, msg), in stable order *)
-  mutable lagging : (int * int * int * 'msg) list;
-  mutable staged : (int * 'msg) list array;  (* per destination *)
-  mutable delivered : (int * 'msg) list array;
+     (rounds still to wait, src, dst, cid, msg), in stable order *)
+  mutable lagging : (int * int * int * int * 'msg) list;
+  mutable staged : (int * int * 'msg) list array;  (* (src, cid, msg) per dst *)
+  mutable delivered : (int * int * 'msg) list array;
   mutable round : int;
   mutable messages : int;
   mutable total_bits : int;
@@ -43,6 +61,10 @@ type 'msg t = {
   mutable congest_violations : int;
   edge_round_bits : int array;  (* 2m slots: per edge per direction *)
   mutable touched : int list;  (* slots dirtied this round *)
+  (* congestion accumulator over the whole run, per directed slot *)
+  slot_bits : int array;  (* cumulative physical bits *)
+  slot_rounds : int array;  (* rounds the slot carried traffic *)
+  mutable skeleton : bool array option;  (* per edge id: in the spanner? *)
   mutable past_rounds : (int * int * int) list list;  (* reverse order *)
   (* totals at the previous [next_round], so the trace event carries this
      round's traffic rather than the running sum *)
@@ -69,12 +91,22 @@ let create ?(record_history = false) ?chaos ~model ~bits g =
     congest_violations = 0;
     edge_round_bits = Array.make (max 1 (2 * Graph.m g)) 0;
     touched = [];
+    slot_bits = Array.make (max 1 (2 * Graph.m g)) 0;
+    slot_rounds = Array.make (max 1 (2 * Graph.m g)) 0;
+    skeleton = None;
     past_rounds = [];
     msg_mark = 0;
     bits_mark = 0;
   }
 
 let graph net = net.g
+
+let set_skeleton net mask =
+  if Array.length mask <> Graph.m net.g then
+    invalid_arg
+      (Printf.sprintf "Net.set_skeleton: mask has %d slots for %d edges"
+         (Array.length mask) (Graph.m net.g));
+  net.skeleton <- Some mask
 
 let slot net ~src ~dst =
   match Graph.find_edge net.g src dst with
@@ -85,7 +117,22 @@ let slot net ~src ~dst =
       let dir = if src < dst then 0 else 1 in
       ((2 * id) + dir, id, dir)
 
-let send net ~src ~dst msg =
+(* One physical copy crossed the wire on slot [s]: the per-round load,
+   the run-long congestion accumulator and the skeleton attribution all
+   measure this — so duplicated copies count twice and a crashed
+   sender's message not at all, unlike the offered-load stats. *)
+let charge_wire net s b =
+  if net.edge_round_bits.(s) = 0 then net.touched <- s :: net.touched;
+  net.edge_round_bits.(s) <- net.edge_round_bits.(s) + b;
+  if net.edge_round_bits.(s) > net.max_edge_round_bits then
+    net.max_edge_round_bits <- net.edge_round_bits.(s);
+  net.slot_bits.(s) <- net.slot_bits.(s) + b;
+  match net.skeleton with
+  | None -> ()
+  | Some mask ->
+      Obs.Counter.add (if mask.(s / 2) then m_bits_spanner else m_bits_other) b
+
+let transmit net ?cid ~src ~dst msg =
   let s, _, _ = slot net ~src ~dst in
   let b = net.bits msg in
   net.messages <- net.messages + 1;
@@ -101,32 +148,45 @@ let send net ~src ~dst msg =
         net.congest_violations <- net.congest_violations + 1;
         Obs.Counter.incr m_violations
       end);
-  if net.edge_round_bits.(s) = 0 then net.touched <- s :: net.touched;
-  net.edge_round_bits.(s) <- net.edge_round_bits.(s) + b;
-  if net.edge_round_bits.(s) > net.max_edge_round_bits then
-    net.max_edge_round_bits <- net.edge_round_bits.(s);
+  let tracing = Obs_trace.enabled () in
+  let cid =
+    match cid with
+    | Some c -> c
+    | None -> if tracing then Obs_trace.mint_cid () else -1
+  in
+  if tracing then
+    Obs_trace.emit
+      (Obs_trace.Msg_send
+         { cid; src; dst; at = float_of_int net.round; bits = b });
   (* Fault injection sits between accounting (the offered load above is
      what the algorithm sent) and delivery: each copy is independently
      dropped, duplicated, or delayed by a bounded number of rounds. *)
-  match net.chaos with
-  | None -> net.staged.(dst) <- (src, msg) :: net.staged.(dst)
+  (match net.chaos with
+  | None ->
+      charge_wire net s b;
+      net.staged.(dst) <- (src, cid, msg) :: net.staged.(dst)
   | Some ch ->
       if Chaos.crashed ch ~node:src ~time:(float_of_int net.round) then
-        Chaos.count_crash_drop ch ~src ~dst
+        (* never made it onto the wire: offered load only *)
+        Chaos.count_crash_drop ~cid ch ~src ~dst
       else begin
         let stage_copy () =
-          if not (Chaos.draw_drop ch ~src ~dst) then begin
-            match Chaos.draw_lag ch ~src ~dst with
-            | 0 -> net.staged.(dst) <- (src, msg) :: net.staged.(dst)
+          charge_wire net s b;
+          if not (Chaos.draw_drop ~cid ch ~src ~dst) then begin
+            match Chaos.draw_lag ~cid ch ~src ~dst with
+            | 0 -> net.staged.(dst) <- (src, cid, msg) :: net.staged.(dst)
             | lag ->
                 (* countdown counts round transitions: on-time delivery
                    consumes one, the lag adds [lag] more *)
-                net.lagging <- (lag + 1, src, dst, msg) :: net.lagging
+                net.lagging <- (lag + 1, src, dst, cid, msg) :: net.lagging
           end
         in
         stage_copy ();
-        if Chaos.draw_dup ch ~src ~dst then stage_copy ()
-      end
+        if Chaos.draw_dup ~cid ch ~src ~dst then stage_copy ()
+      end);
+  cid
+
+let send net ~src ~dst msg = ignore (transmit net ~src ~dst msg)
 
 let broadcast net ~src msg =
   Graph.iter_neighbors net.g src (fun dst _ -> send net ~src ~dst msg)
@@ -144,20 +204,32 @@ let next_round net =
          round's deliveries behind the on-time ones *)
       let still = ref [] in
       List.iter
-        (fun (countdown, src, dst, msg) ->
+        (fun (countdown, src, dst, cid, msg) ->
           if countdown <= 1 then
-            net.delivered.(dst) <- (src, msg) :: net.delivered.(dst)
-          else still := (countdown - 1, src, dst, msg) :: !still)
+            net.delivered.(dst) <- (src, cid, msg) :: net.delivered.(dst)
+          else still := (countdown - 1, src, dst, cid, msg) :: !still)
         (List.rev net.lagging);
       net.lagging <- List.rev !still;
       (* a crashed destination loses everything addressed to it *)
       Array.iteri
         (fun dst inbox ->
           if inbox <> [] && Chaos.crashed ch ~node:dst ~time:now then begin
-            List.iter (fun (src, _) -> Chaos.count_crash_drop ch ~src ~dst) inbox;
+            List.iter
+              (fun (src, cid, _) -> Chaos.count_crash_drop ~cid ch ~src ~dst)
+              inbox;
             net.delivered.(dst) <- []
           end)
         net.delivered);
+  if Obs_trace.enabled () then begin
+    let at = float_of_int (net.round + 1) in
+    Array.iteri
+      (fun dst inbox ->
+        List.iter
+          (fun (src, cid, _) ->
+            Obs_trace.emit (Obs_trace.Msg_deliver { cid; src; dst; at }))
+          inbox)
+      net.delivered
+  end;
   if net.record_history then begin
     let loads =
       List.map
@@ -166,7 +238,12 @@ let next_round net =
     in
     net.past_rounds <- loads :: net.past_rounds
   end;
-  List.iter (fun s -> net.edge_round_bits.(s) <- 0) net.touched;
+  List.iter
+    (fun s ->
+      net.slot_rounds.(s) <- net.slot_rounds.(s) + 1;
+      Obs.Histogram.observe_int h_edge_round_load net.edge_round_bits.(s);
+      net.edge_round_bits.(s) <- 0)
+    net.touched;
   net.touched <- [];
   net.round <- net.round + 1;
   Obs.Counter.incr m_rounds;
@@ -181,7 +258,33 @@ let next_round net =
   (* one simulator round = one heartbeat operation *)
   Obs_heartbeat.pulse ()
 
-let inbox net v = net.delivered.(v)
+let inbox net v = List.map (fun (src, _, msg) -> (src, msg)) net.delivered.(v)
+
+let inbox_cids net v =
+  List.map (fun (src, cid, msg) -> (src, cid, msg)) net.delivered.(v)
+
+(* Top-K busiest directed slots over the whole run, by cumulative
+   physical bits (ties: smaller slot first — deterministic). *)
+let hot_edges ?(top = 10) net =
+  if top < 0 then invalid_arg "Net.hot_edges: top must be >= 0";
+  let loaded = ref [] in
+  Array.iteri
+    (fun s b -> if b > 0 then loaded := (s, b) :: !loaded)
+    net.slot_bits;
+  let sorted =
+    List.sort
+      (fun (s1, b1) (s2, b2) ->
+        if b1 <> b2 then compare b2 b1 else compare s1 s2)
+      !loaded
+  in
+  List.filteri (fun i _ -> i < top) sorted
+  |> List.map (fun (s, b) ->
+         {
+           he_edge = s / 2;
+           he_dir = s mod 2;
+           he_bits = b;
+           he_rounds = net.slot_rounds.(s);
+         })
 
 let charge_rounds net k =
   if k < 0 then invalid_arg "Net.charge_rounds: negative";

@@ -20,11 +20,24 @@ let backoff attempts = min attempts 8
    watch.  Log-linear so p99/p999 stay honest under backoff tails. *)
 let h_rtt = Obs.histogram_log "reliable.rtt"
 
+(* Unacked send window (both layers): a level, so a gauge — the soak
+   runs watch it to see backlog building under loss. *)
+let g_unacked = Obs.gauge "gauge.reliable.unacked"
+
+(* Delivery-protocol events share the chaos lifecycle stream: kinds
+   "retransmit"/"ack"/"dup_suppress"/"giveup", keyed by the data
+   packet's causal id so the analyzer sees the whole story per
+   message. *)
+let trace_protocol kind ~cid ~src ~dst =
+  if Obs_trace.enabled () then
+    Obs_trace.emit (Obs_trace.Chaos_event { kind; cid; src; dst })
+
 type 'msg pending = {
   p_src : int;
   p_dst : int;
   p_slot : int;
   p_seq : int;
+  p_cid : int; (* causal id of the first transmission; reused on re-sends *)
   p_payload : 'msg;
   p_sent : int; (* physical round of the first transmission *)
   mutable p_attempts : int; (* transmissions so far *)
@@ -92,19 +105,21 @@ let send t ~src ~dst msg =
       let slot = slot_of t.g ~src ~dst in
       let seq = t.next_seq.(slot) in
       t.next_seq.(slot) <- seq + 1;
-      Net.send t.net ~src ~dst (Data { seq; payload = msg });
+      let cid = Net.transmit t.net ~src ~dst (Data { seq; payload = msg }) in
       t.outstanding <-
         {
           p_src = src;
           p_dst = dst;
           p_slot = slot;
           p_seq = seq;
+          p_cid = cid;
           p_payload = msg;
           p_sent = t.clock;
           p_attempts = 1;
           p_due = t.clock + t.rto0;
         }
-        :: t.outstanding
+        :: t.outstanding;
+      Obs.Gauge.set g_unacked (List.length t.outstanding)
 
 let broadcast t ~src msg =
   Graph.iter_neighbors t.g src (fun dst _ -> send t ~src ~dst msg)
@@ -116,14 +131,17 @@ let harvest t =
   let n = Graph.n t.g in
   for v = 0 to n - 1 do
     List.iter
-      (fun (sender, pkt) ->
+      (fun (sender, cid, pkt) ->
         match pkt with
         | Ack { seq } ->
+            (* [cid] here is the ack packet's own id; the event we emit
+               belongs to the data packet, via the pending record *)
             t.outstanding <-
               List.filter
                 (fun p ->
                   if p.p_src = v && p.p_dst = sender && p.p_seq = seq then begin
                     Obs.Histogram.observe_int h_rtt (t.clock - p.p_sent);
+                    trace_protocol "ack" ~cid:p.p_cid ~src:p.p_src ~dst:p.p_dst;
                     false
                   end
                   else true)
@@ -134,9 +152,11 @@ let harvest t =
             if not (Hashtbl.mem t.seen (slot, seq)) then begin
               Hashtbl.add t.seen (slot, seq) ();
               t.accum.(v) <- (sender, seq, payload) :: t.accum.(v)
-            end)
-      (Net.inbox t.net v)
-  done
+            end
+            else trace_protocol "dup_suppress" ~cid ~src:sender ~dst:v)
+      (Net.inbox_cids t.net v)
+  done;
+  Obs.Gauge.set g_unacked (List.length t.outstanding)
 
 let step t =
   Net.next_round t.net;
@@ -151,26 +171,26 @@ let retransmit_due t =
         else if p.p_attempts >= max_attempts then begin
           t.giveups <- t.giveups + 1;
           Obs.Counter.incr Chaos.giveups_counter;
-          if Obs_trace.enabled () then
-            Obs_trace.emit
-              (Obs_trace.Chaos_event
-                 { kind = "giveup"; src = p.p_src; dst = p.p_dst });
+          trace_protocol "giveup" ~cid:p.p_cid ~src:p.p_src ~dst:p.p_dst;
           false
         end
         else begin
-          Net.send t.net ~src:p.p_src ~dst:p.p_dst
-            (Data { seq = p.p_seq; payload = p.p_payload });
+          (* same causal id: the re-send is another attempt of the same
+             application message, not a new lifecycle *)
+          ignore
+            (Net.transmit t.net
+               ?cid:(if p.p_cid >= 0 then Some p.p_cid else None)
+               ~src:p.p_src ~dst:p.p_dst
+               (Data { seq = p.p_seq; payload = p.p_payload }));
           p.p_attempts <- p.p_attempts + 1;
           p.p_due <- t.clock + (t.rto0 * backoff p.p_attempts);
           t.retransmits <- t.retransmits + 1;
           Obs.Counter.incr Chaos.retries_counter;
-          if Obs_trace.enabled () then
-            Obs_trace.emit
-              (Obs_trace.Chaos_event
-                 { kind = "retransmit"; src = p.p_src; dst = p.p_dst });
+          trace_protocol "retransmit" ~cid:p.p_cid ~src:p.p_src ~dst:p.p_dst;
           true
         end)
-      t.outstanding
+      t.outstanding;
+  Obs.Gauge.set g_unacked (List.length t.outstanding)
 
 let next_round t =
   match t.chaos with
@@ -258,39 +278,50 @@ module Async = struct
         t.next_seq.(slot) <- seq + 1;
         let key = (slot, seq) in
         let t0 = Async_net.now t.anet in
+        (* the first attempt's causal id, shared by every re-send *)
+        let cid = ref (-1) in
         let deliver () =
           if not (Hashtbl.mem t.seen key) then begin
             Hashtbl.add t.seen key ();
             handler ()
-          end;
+          end
+          else trace_protocol "dup_suppress" ~cid:!cid ~src ~dst;
           (* ack every copy: an earlier ack may have been dropped *)
           Async_net.send t.anet ~src:dst ~dst:src (fun () ->
               if not (Hashtbl.mem t.acked key) then begin
                 Hashtbl.add t.acked key ();
-                Obs.Histogram.observe h_rtt (Async_net.now t.anet -. t0)
+                Obs.Gauge.add g_unacked (-1);
+                Obs.Histogram.observe h_rtt (Async_net.now t.anet -. t0);
+                trace_protocol "ack" ~cid:!cid ~src ~dst
               end)
         in
         let rec attempt n =
-          Async_net.send t.anet ~src ~dst deliver;
+          let c =
+            Async_net.transmit t.anet
+              ?cid:(if !cid >= 0 then Some !cid else None)
+              ~src ~dst deliver
+          in
+          if !cid < 0 then cid := c;
           let rto = t.rto0 *. float_of_int (backoff n) in
           Async_net.at t.anet ~time:(Async_net.now t.anet +. rto) (fun () ->
               if not (Hashtbl.mem t.acked key) then
                 if n >= max_attempts then begin
                   t.giveups <- t.giveups + 1;
                   Obs.Counter.incr Chaos.giveups_counter;
-                  if Obs_trace.enabled () then
-                    Obs_trace.emit
-                      (Obs_trace.Chaos_event { kind = "giveup"; src; dst })
+                  trace_protocol "giveup" ~cid:!cid ~src ~dst;
+                  (* close the window: a late ack must not double-credit
+                     the gauge or record a bogus RTT *)
+                  Hashtbl.add t.acked key ();
+                  Obs.Gauge.add g_unacked (-1)
                 end
                 else begin
                   t.retransmits <- t.retransmits + 1;
                   Obs.Counter.incr Chaos.retries_counter;
-                  if Obs_trace.enabled () then
-                    Obs_trace.emit
-                      (Obs_trace.Chaos_event { kind = "retransmit"; src; dst });
+                  trace_protocol "retransmit" ~cid:!cid ~src ~dst;
                   attempt (n + 1)
                 end)
         in
+        Obs.Gauge.add g_unacked 1;
         attempt 1
 
   let retransmits t = t.retransmits

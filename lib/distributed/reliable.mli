@@ -21,7 +21,14 @@
 
     Retransmissions count into the global [net.retries] counter and
     abandoned packets into [net.giveups] (both owned by {!Chaos});
-    per-network totals are available via {!retransmits} / {!giveups}. *)
+    per-network totals are available via {!retransmits} / {!giveups}.
+    While {!Obs_trace.enabled}, the protocol narrates each message's
+    lifecycle under its causal id: every re-send reuses the first
+    attempt's id (so one application message is one lifecycle however
+    many attempts it takes), and [chaos] events of kind ["retransmit"],
+    ["ack"], ["dup_suppress"] and ["giveup"] mark the protocol's
+    reactions.  The [gauge.reliable.unacked] gauge tracks the live
+    unacknowledged-send window. *)
 
 type 'msg t
 

@@ -27,6 +27,10 @@ let run rng ?failures ?chaos ~pulses ~skeleton g =
   let n = Graph.n g in
   let rel = Reliable.Async.create rng ?chaos g in
   let net = Reliable.Async.net rel in
+  (* every synchronizer message travels a skeleton edge, but the
+     attribution split still matters for mixed workloads sharing the
+     net — and it lets the analyzer confirm exactly that *)
+  Async_net.set_skeleton net skeleton.Selection.selected;
   (* Skeleton adjacency. *)
   let nbrs = Array.make n [] in
   List.iter
@@ -70,6 +74,9 @@ let run rng ?failures ?chaos ~pulses ~skeleton g =
         pulse.(v) <- p + 1;
         let now = Async_net.now net in
         entry_time.(v).(p + 1) <- now;
+        if Obs_trace.enabled () then
+          Obs_trace.emit
+            (Obs_trace.Sync_pulse { node = v; pulse = p + 1; at = now });
         let prev = entry_time.(v).(p) in
         if Float.is_finite prev then
           Obs.Histogram.observe h_round_latency (now -. prev);

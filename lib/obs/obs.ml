@@ -271,6 +271,31 @@ module Histogram = struct
       h.shards
 end
 
+module Gauge = struct
+  (* A level, not a rate: each domain tracks its own contribution in a
+     private shard ([set] overwrites it, [add] adjusts it) and the
+     merged value is the sum of shards — the natural reading for
+     queue-depth style gauges where each domain owns part of the
+     level. *)
+  type shard = { mutable v : int }
+  type t = { name : string; shards : shard Shards.t }
+
+  let name g = g.name
+  let make name = { name; shards = Shards.create (fun () -> { v = 0 }) }
+
+  let set g n =
+    if Atomic.get enabled_flag then (Shards.get g.shards).v <- n
+
+  let add g n =
+    if Atomic.get enabled_flag then begin
+      let s = Shards.get g.shards in
+      s.v <- s.v + n
+    end
+
+  let value g = Shards.fold (fun acc s -> acc + s.v) 0 g.shards
+  let reset g = Shards.iter (fun s -> s.v <- 0) g.shards
+end
+
 (* ------------------------------ spans ------------------------------- *)
 
 (* Spans are accumulated directly into a merged tree: one node per
@@ -346,6 +371,7 @@ type metric =
   | M_counter of Counter.t
   | M_timer of Timer.t
   | M_histogram of Histogram.t
+  | M_gauge of Gauge.t
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
@@ -380,6 +406,14 @@ let timer name =
       (t, M_timer t))
     (function M_timer t -> Some t | _ -> None)
     "timer"
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = Gauge.make name in
+      (g, M_gauge g))
+    (function M_gauge g -> Some g | _ -> None)
+    "gauge"
 
 let histogram_scheme scheme kind name =
   register name
@@ -416,6 +450,7 @@ type span_view = {
 
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * int) list;
   timers : (string * (int * float)) list;
   histograms : (string * histogram_view) list;
   spans : span_view list;
@@ -464,10 +499,14 @@ and view_span_table table =
 
 let snapshot () =
   locked (fun () ->
-      let counters = ref [] and timers = ref [] and histograms = ref [] in
+      let counters = ref []
+      and gauges = ref []
+      and timers = ref []
+      and histograms = ref [] in
       Hashtbl.iter
         (fun name -> function
           | M_counter c -> counters := (name, Counter.value c) :: !counters
+          | M_gauge g -> gauges := (name, Gauge.value g) :: !gauges
           | M_timer t ->
               timers := (name, (Timer.count t, Timer.total_s t)) :: !timers
           | M_histogram h -> histograms := (name, view_histogram h) :: !histograms)
@@ -475,6 +514,7 @@ let snapshot () =
       let by_name (a, _) (b, _) = compare (a : string) b in
       {
         counters = List.sort by_name !counters;
+        gauges = List.sort by_name !gauges;
         timers = List.sort by_name !timers;
         histograms = List.sort by_name !histograms;
         spans = view_span_table span_roots;
@@ -485,6 +525,7 @@ let reset () =
       Hashtbl.iter
         (fun _ -> function
           | M_counter c -> Counter.reset c
+          | M_gauge g -> Gauge.reset g
           | M_timer t -> Timer.reset t
           | M_histogram h -> Histogram.reset h)
         registry;

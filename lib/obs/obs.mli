@@ -78,6 +78,34 @@ end
 
 val timer : string -> Timer.t
 
+module Gauge : sig
+  (** A named level (as opposed to a {!Counter}'s monotonic rate),
+      sharded per domain: [set]/[add] touch only the calling domain's
+      shard, and [value] reports the {e sum} over all shards — the
+      natural merge for queue-depth style gauges where each domain owns
+      a piece of the level.  Gauge readings depend on scheduling, so
+      snapshots report them separately and the bench gate excludes the
+      [gauge.*] prefix. *)
+  type t
+
+  val name : t -> string
+
+  (** [set g n] overwrites the calling domain's contribution. *)
+  val set : t -> int -> unit
+
+  (** [add g n] adjusts the calling domain's contribution ([n] may be
+      negative). *)
+  val add : t -> int -> unit
+
+  (** Merged (summed) value across domains. *)
+  val value : t -> int
+end
+
+(** [gauge name] registers (or retrieves) the gauge [name]; same registry
+    rules as {!counter}.  Names use the ["gauge."] prefix by convention so
+    regression gates can carve them out. *)
+val gauge : string -> Gauge.t
+
 module Histogram : sig
   (** A named distribution: count/sum/min/max plus one of two bucket
       layouts, sharded per domain like {!Timer}.
@@ -164,6 +192,7 @@ type span_view = {
 
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;  (** sorted by name; merged across shards *)
   timers : (string * (int * float)) list;  (** name, (count, total seconds) *)
   histograms : (string * histogram_view) list;
   spans : span_view list;

@@ -1,0 +1,525 @@
+(* Offline lifecycle analysis of a ftspan.trace.v1 stream: group message
+   events by causal id and answer the service-level questions the live
+   counters cannot — where delivery latency goes, which edges amplify
+   traffic through retransmission, how deep reordering runs, and which
+   edge's slowest delivery gated each synchronizer pulse.
+
+   Every statistic derives from the events' simulated [at] times and the
+   deterministic cid numbering, never from the wall-clock [ts_s] stamps,
+   so two runs of the same seeded experiment analyze to identical
+   reports. *)
+
+type ev =
+  | Send of { cid : int; src : int; dst : int; at : float; bits : int }
+  | Deliver of { cid : int; src : int; dst : int; at : float }
+  | Fate of { kind : string; cid : int; src : int; dst : int }
+  | Pulse of { node : int; pulse : int; at : float }
+  | Other
+  | Malformed of string
+
+type trace = {
+  t_seen : int;
+  t_sampled : int;
+  t_dropped : int;
+  t_events : (int * ev) list;  (* (seq, event), document order *)
+}
+
+(* ------------------------------ parsing ------------------------------ *)
+
+let field name conv j =
+  Option.bind (Obs_json.member name j) conv
+
+let parse_event j =
+  match field "type" Obs_json.to_str j with
+  | None -> Malformed "event without a \"type\" field"
+  | Some ty -> (
+      let int name = field name Obs_json.to_int j in
+      let num name = field name Obs_json.to_number j in
+      let str name = field name Obs_json.to_str j in
+      let missing () =
+        Malformed (Printf.sprintf "%s event with missing or ill-typed fields" ty)
+      in
+      match ty with
+      | "msg_send" -> (
+          match (int "cid", int "src", int "dst", num "at", int "bits") with
+          | Some cid, Some src, Some dst, Some at, Some bits ->
+              Send { cid; src; dst; at; bits }
+          | _ -> missing ())
+      | "msg_deliver" -> (
+          match (int "cid", int "src", int "dst", num "at") with
+          | Some cid, Some src, Some dst, Some at ->
+              Deliver { cid; src; dst; at }
+          | _ -> missing ())
+      | "chaos" -> (
+          match (str "kind", int "src", int "dst") with
+          | Some kind, Some src, Some dst ->
+              (* cid is optional: pre-causal-id traces lack it *)
+              let cid = Option.value ~default:(-1) (int "cid") in
+              Fate { kind; cid; src; dst }
+          | _ -> missing ())
+      | "sync_pulse" -> (
+          match (int "node", int "pulse", num "at") with
+          | Some node, Some pulse, Some at -> Pulse { node; pulse; at }
+          | _ -> missing ())
+      | _ -> Other)
+
+let parse j =
+  let ( let* ) = Result.bind in
+  let top name conv =
+    match field name conv j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "trace: missing or ill-typed %S" name)
+  in
+  let* schema = top "schema" Obs_json.to_str in
+  if schema <> "ftspan.trace.v1" then
+    Error (Printf.sprintf "trace: unexpected schema %S" schema)
+  else
+    let* seen = top "seen" Obs_json.to_int in
+    let* sampled = top "sampled" Obs_json.to_int in
+    let* dropped = top "dropped" Obs_json.to_int in
+    let* events = top "events" Obs_json.to_list in
+    let parsed =
+      List.map
+        (fun e ->
+          match field "seq" Obs_json.to_int e with
+          | Some seq -> (seq, parse_event e)
+          | None -> (-1, Malformed "event without a \"seq\" field"))
+        events
+    in
+    Ok { t_seen = seen; t_sampled = sampled; t_dropped = dropped;
+         t_events = parsed }
+
+let load file =
+  match
+    In_channel.with_open_text file In_channel.input_all
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match Obs_json.of_string text with
+      | Error e -> Error (Printf.sprintf "%s: %s" file e)
+      | Ok j -> parse j)
+
+(* ---------------------------- validation ----------------------------- *)
+
+let validate tr =
+  let bad = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+  if tr.t_seen < 0 || tr.t_sampled < 0 || tr.t_dropped < 0 then
+    note "negative seen/sampled/dropped accounting";
+  if tr.t_sampled > tr.t_seen then
+    note "sampled (%d) exceeds seen (%d)" tr.t_sampled tr.t_seen;
+  if List.length tr.t_events > tr.t_sampled then
+    note "more events (%d) than sampled (%d)"
+      (List.length tr.t_events) tr.t_sampled;
+  let last_seq = ref (-1) in
+  List.iter
+    (fun (seq, ev) ->
+      (match ev with
+      | Malformed msg -> note "seq %d: %s" seq msg
+      | _ -> ());
+      if seq <= !last_seq then
+        note "non-monotonic event seq (%d after %d)" seq !last_seq;
+      last_seq := seq)
+    tr.t_events;
+  (* With nothing sampled out or overwritten, every delivery's send must
+     be present (cid pair-sampling guarantees it; a violation means the
+     producer broke the lifecycle contract). *)
+  if tr.t_dropped = 0 then begin
+    let sent = Hashtbl.create 256 in
+    List.iter
+      (fun (_, ev) ->
+        match ev with
+        | Send { cid; _ } when cid >= 0 -> Hashtbl.replace sent cid ()
+        | _ -> ())
+      tr.t_events;
+    List.iter
+      (fun (seq, ev) ->
+        match ev with
+        | Deliver { cid; _ } when cid >= 0 && not (Hashtbl.mem sent cid) ->
+            note "seq %d: delivery of cid %d without a send" seq cid
+        | _ -> ())
+      tr.t_events
+  end;
+  List.rev !bad
+
+(* ----------------------------- analysis ------------------------------ *)
+
+type edge_stat = {
+  e_src : int;
+  e_dst : int;
+  e_msgs : int;  (* distinct application messages (cids) *)
+  e_sends : int;  (* transmission attempts, retransmits included *)
+  e_delivers : int;
+  e_retransmits : int;
+  e_giveups : int;
+  e_amplification : float;  (* e_sends / e_msgs; 1.0 = no retransmission *)
+  e_max_reorder : int;
+  e_reordered : int;  (* first deliveries that overtook an earlier send *)
+}
+
+type pulse_stat = {
+  p_pulse : int;
+  p_node : int;  (* last node to enter the pulse *)
+  p_at : float;
+  p_gate : (int * int * float) option;
+      (* (src, dst, deliver time) of the latest delivery to that node
+         at or before the pulse entry — the edge that gated the pulse *)
+}
+
+type quantile = { q_label : string; q_value : float }
+
+type report = {
+  a_messages : int;
+  a_sends : int;
+  a_delivers : int;
+  a_delivered : int;  (* messages with at least one delivery *)
+  a_retransmits : int;
+  a_giveups : int;
+  a_acks : int;
+  a_dup_suppressed : int;
+  a_drops : int;
+  a_dups : int;
+  a_latency : quantile list;  (* exact offline quantiles; [] if none *)
+  a_latency_mean : float;
+  a_latency_max : float;
+  a_edges : edge_stat list;  (* busiest first, capped at [top] *)
+  a_edges_total : int;  (* edges with traffic, before capping *)
+  a_max_reorder : int;
+  a_reordered : int;
+  a_pulses : pulse_stat list;  (* one per pulse number, ascending *)
+}
+
+let exact_quantiles values =
+  let n = Array.length values in
+  if n = 0 then []
+  else begin
+    Array.sort compare values;
+    List.map
+      (fun (q_label, q) ->
+        let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+        let rank = if rank < 1 then 1 else if rank > n then n else rank in
+        { q_label; q_value = values.(rank - 1) })
+      [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99); ("p999", 0.999) ]
+  end
+
+type cid_life = {
+  mutable l_first_send : float;
+  mutable l_first_deliver : float;
+  mutable l_sends : int;
+  mutable l_delivers : int;
+}
+
+type edge_acc = {
+  mutable g_msgs : int;
+  mutable g_sends : int;
+  mutable g_delivers : int;
+  mutable g_retransmits : int;
+  mutable g_giveups : int;
+  (* reorder tracking: per-edge send order index by cid, running max
+     delivered index, max observed depth, inversion count *)
+  g_send_idx : (int, int) Hashtbl.t;
+  g_delivered : (int, unit) Hashtbl.t;
+  mutable g_next_idx : int;
+  mutable g_max_seen_idx : int;
+  mutable g_max_reorder : int;
+  mutable g_reordered : int;
+}
+
+let analyze ?(top = 10) tr =
+  if top < 0 then invalid_arg "Obs_analyze.analyze: top must be >= 0";
+  let lives : (int, cid_life) Hashtbl.t = Hashtbl.create 1024 in
+  let life cid =
+    match Hashtbl.find_opt lives cid with
+    | Some l -> l
+    | None ->
+        let l =
+          { l_first_send = nan; l_first_deliver = nan; l_sends = 0;
+            l_delivers = 0 }
+        in
+        Hashtbl.add lives cid l;
+        l
+  in
+  let edges : (int * int, edge_acc) Hashtbl.t = Hashtbl.create 256 in
+  let edge src dst =
+    let key = (src, dst) in
+    match Hashtbl.find_opt edges key with
+    | Some e -> e
+    | None ->
+        let e =
+          { g_msgs = 0; g_sends = 0; g_delivers = 0; g_retransmits = 0;
+            g_giveups = 0; g_send_idx = Hashtbl.create 64;
+            g_delivered = Hashtbl.create 64; g_next_idx = 0;
+            g_max_seen_idx = -1; g_max_reorder = 0; g_reordered = 0 }
+        in
+        Hashtbl.add edges key e;
+        e
+  in
+  let sends = ref 0 and delivers = ref 0 in
+  let retransmits = ref 0 and giveups = ref 0 in
+  let acks = ref 0 and dup_suppressed = ref 0 in
+  let drops = ref 0 and dups = ref 0 in
+  let pulses : (int, int * float) Hashtbl.t = Hashtbl.create 64 in
+  let node_deliver : (int, (int * int * float) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Send { cid; src; dst; at; _ } ->
+          incr sends;
+          let e = edge src dst in
+          e.g_sends <- e.g_sends + 1;
+          if cid >= 0 then begin
+            let l = life cid in
+            l.l_sends <- l.l_sends + 1;
+            if Float.is_nan l.l_first_send || at < l.l_first_send then
+              l.l_first_send <- at;
+            if not (Hashtbl.mem e.g_send_idx cid) then begin
+              Hashtbl.add e.g_send_idx cid e.g_next_idx;
+              e.g_next_idx <- e.g_next_idx + 1;
+              e.g_msgs <- e.g_msgs + 1
+            end
+          end
+          else e.g_msgs <- e.g_msgs + 1
+      | Deliver { cid; src; dst; at } ->
+          incr delivers;
+          let e = edge src dst in
+          e.g_delivers <- e.g_delivers + 1;
+          if cid >= 0 then begin
+            let l = life cid in
+            l.l_delivers <- l.l_delivers + 1;
+            if Float.is_nan l.l_first_deliver || at < l.l_first_deliver then
+              l.l_first_deliver <- at;
+            (* reorder depth: a first delivery overtaken by [d] younger
+               messages already delivered on this directed edge *)
+            (match Hashtbl.find_opt e.g_send_idx cid with
+            | Some idx when not (Hashtbl.mem e.g_delivered cid) ->
+                Hashtbl.add e.g_delivered cid ();
+                if e.g_max_seen_idx > idx then begin
+                  let depth = e.g_max_seen_idx - idx in
+                  e.g_reordered <- e.g_reordered + 1;
+                  if depth > e.g_max_reorder then e.g_max_reorder <- depth
+                end
+                else e.g_max_seen_idx <- idx
+            | _ -> ());
+            Hashtbl.replace node_deliver dst
+              ((src, dst, at)
+              :: Option.value ~default:[] (Hashtbl.find_opt node_deliver dst))
+          end
+      | Fate { kind; src; dst; _ } -> (
+          match kind with
+          | "retransmit" ->
+              incr retransmits;
+              let e = edge src dst in
+              e.g_retransmits <- e.g_retransmits + 1
+          | "giveup" ->
+              incr giveups;
+              let e = edge src dst in
+              e.g_giveups <- e.g_giveups + 1
+          | "ack" -> incr acks
+          | "dup_suppress" -> incr dup_suppressed
+          | "drop" -> incr drops
+          | "dup" -> incr dups
+          | _ -> ())
+      | Pulse { node; pulse; at } -> (
+          (* the gating node enters last; ties go to the smaller id so
+             the answer is deterministic *)
+          match Hashtbl.find_opt pulses pulse with
+          | Some (n0, at0) when at0 > at || (at0 = at && n0 <= node) -> ()
+          | _ -> Hashtbl.replace pulses pulse (node, at))
+      | Other | Malformed _ -> ())
+    tr.t_events;
+  let latencies =
+    Hashtbl.fold
+      (fun _ l acc ->
+        if Float.is_nan l.l_first_send || Float.is_nan l.l_first_deliver then
+          acc
+        else (l.l_first_deliver -. l.l_first_send) :: acc)
+      lives []
+  in
+  let lat_arr = Array.of_list latencies in
+  let lat_n = Array.length lat_arr in
+  let lat_sum = Array.fold_left ( +. ) 0. lat_arr in
+  let lat_max = Array.fold_left Float.max neg_infinity lat_arr in
+  let delivered =
+    Hashtbl.fold (fun _ l acc -> if l.l_delivers > 0 then acc + 1 else acc)
+      lives 0
+  in
+  let edge_list =
+    Hashtbl.fold
+      (fun (src, dst) e acc ->
+        {
+          e_src = src;
+          e_dst = dst;
+          e_msgs = e.g_msgs;
+          e_sends = e.g_sends;
+          e_delivers = e.g_delivers;
+          e_retransmits = e.g_retransmits;
+          e_giveups = e.g_giveups;
+          e_amplification =
+            (if e.g_msgs = 0 then 0.
+             else float_of_int e.g_sends /. float_of_int e.g_msgs);
+          e_max_reorder = e.g_max_reorder;
+          e_reordered = e.g_reordered;
+        }
+        :: acc)
+      edges []
+  in
+  let edge_sorted =
+    List.sort
+      (fun a b ->
+        if a.e_sends <> b.e_sends then compare b.e_sends a.e_sends
+        else compare (a.e_src, a.e_dst) (b.e_src, b.e_dst))
+      edge_list
+  in
+  let pulse_list =
+    Hashtbl.fold (fun p (node, at) acc -> (p, node, at) :: acc) pulses []
+    |> List.sort compare
+    |> List.map (fun (p, node, at) ->
+           let gate =
+             match Hashtbl.find_opt node_deliver node with
+             | None -> None
+             | Some ds ->
+                 List.fold_left
+                   (fun best (src, dst, t) ->
+                     if t > at then best
+                     else
+                       match best with
+                       | Some (_, _, tb) when tb >= t -> best
+                       | _ -> Some (src, dst, t))
+                   None ds
+           in
+           { p_pulse = p; p_node = node; p_at = at; p_gate = gate })
+  in
+  {
+    a_messages = Hashtbl.length lives;
+    a_sends = !sends;
+    a_delivers = !delivers;
+    a_delivered = delivered;
+    a_retransmits = !retransmits;
+    a_giveups = !giveups;
+    a_acks = !acks;
+    a_dup_suppressed = !dup_suppressed;
+    a_drops = !drops;
+    a_dups = !dups;
+    a_latency = exact_quantiles lat_arr;
+    a_latency_mean = (if lat_n = 0 then 0. else lat_sum /. float_of_int lat_n);
+    a_latency_max = (if lat_n = 0 then 0. else lat_max);
+    a_edges = List.filteri (fun i _ -> i < top) edge_sorted;
+    a_edges_total = List.length edge_sorted;
+    a_max_reorder =
+      List.fold_left (fun m e -> max m e.e_max_reorder) 0 edge_list;
+    a_reordered = List.fold_left (fun m e -> m + e.e_reordered) 0 edge_list;
+    a_pulses = pulse_list;
+  }
+
+(* ----------------------------- rendering ----------------------------- *)
+
+let pp_report ppf r =
+  let open Format in
+  fprintf ppf "@[<v>messages: %d (%d delivered, %d sends, %d deliveries)@,"
+    r.a_messages r.a_delivered r.a_sends r.a_delivers;
+  fprintf ppf
+    "fates: %d retransmits, %d giveups, %d acks, %d dup-suppressed, %d \
+     drops, %d dups@,"
+    r.a_retransmits r.a_giveups r.a_acks r.a_dup_suppressed r.a_drops r.a_dups;
+  (match r.a_latency with
+  | [] -> fprintf ppf "delivery latency: no delivered messages@,"
+  | qs ->
+      fprintf ppf "delivery latency: mean=%g max=%g" r.a_latency_mean
+        r.a_latency_max;
+      List.iter (fun q -> fprintf ppf " %s=%g" q.q_label q.q_value) qs;
+      fprintf ppf "@,");
+  fprintf ppf "reordering: %d deliveries overtaken, max depth %d@,"
+    r.a_reordered r.a_max_reorder;
+  fprintf ppf "edges with traffic: %d (showing %d)@," r.a_edges_total
+    (List.length r.a_edges);
+  List.iter
+    (fun e ->
+      fprintf ppf
+        "  %d->%d: msgs=%d sends=%d delivers=%d retransmits=%d amp=%.2f"
+        e.e_src e.e_dst e.e_msgs e.e_sends e.e_delivers e.e_retransmits
+        e.e_amplification;
+      if e.e_giveups > 0 then fprintf ppf " giveups=%d" e.e_giveups;
+      if e.e_reordered > 0 then
+        fprintf ppf " reordered=%d (depth<=%d)" e.e_reordered e.e_max_reorder;
+      fprintf ppf "@,")
+    r.a_edges;
+  if r.a_pulses <> [] then begin
+    fprintf ppf "synchronizer critical path:@,";
+    List.iter
+      (fun p ->
+        fprintf ppf "  pulse %d: gated by node %d at %g" p.p_pulse p.p_node
+          p.p_at;
+        (match p.p_gate with
+        | Some (src, dst, t) ->
+            fprintf ppf " (last delivery %d->%d at %g)" src dst t
+        | None -> fprintf ppf " (no prior delivery in trace)");
+        fprintf ppf "@,")
+      r.a_pulses
+  end;
+  fprintf ppf "@]"
+
+let json_of_report r =
+  let open Obs_json in
+  Obj
+    [
+      ("schema", String "ftspan.trace-report.v1");
+      ("messages", Int r.a_messages);
+      ("delivered", Int r.a_delivered);
+      ("sends", Int r.a_sends);
+      ("delivers", Int r.a_delivers);
+      ("retransmits", Int r.a_retransmits);
+      ("giveups", Int r.a_giveups);
+      ("acks", Int r.a_acks);
+      ("dup_suppressed", Int r.a_dup_suppressed);
+      ("drops", Int r.a_drops);
+      ("dups", Int r.a_dups);
+      ( "latency",
+        if r.a_latency = [] then Null
+        else
+          Obj
+            (("mean", Float r.a_latency_mean)
+            :: ("max", Float r.a_latency_max)
+            :: List.map (fun q -> (q.q_label, Float q.q_value)) r.a_latency) );
+      ("max_reorder_depth", Int r.a_max_reorder);
+      ("reordered_deliveries", Int r.a_reordered);
+      ("edges_with_traffic", Int r.a_edges_total);
+      ( "edges",
+        List
+          (List.map
+             (fun e ->
+               Obj
+                 [
+                   ("src", Int e.e_src); ("dst", Int e.e_dst);
+                   ("msgs", Int e.e_msgs); ("sends", Int e.e_sends);
+                   ("delivers", Int e.e_delivers);
+                   ("retransmits", Int e.e_retransmits);
+                   ("giveups", Int e.e_giveups);
+                   ("amplification", Float e.e_amplification);
+                   ("max_reorder", Int e.e_max_reorder);
+                   ("reordered", Int e.e_reordered);
+                 ])
+             r.a_edges) );
+      ( "critical_path",
+        List
+          (List.map
+             (fun p ->
+               Obj
+                 (("pulse", Int p.p_pulse)
+                 :: ("node", Int p.p_node)
+                 :: ("at", Float p.p_at)
+                 ::
+                 (match p.p_gate with
+                 | None -> []
+                 | Some (src, dst, t) ->
+                     [
+                       ( "gate",
+                         Obj
+                           [
+                             ("src", Int src); ("dst", Int dst);
+                             ("at", Float t);
+                           ] );
+                     ])))
+             r.a_pulses) );
+    ]

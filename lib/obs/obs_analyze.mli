@@ -1,0 +1,113 @@
+(** Offline analysis of [ftspan.trace.v1] streams.
+
+    {!Obs_trace} writes what happened; this module answers what it {e
+    meant}: per-message delivery latency (exact offline quantiles, not
+    the live histograms' bucketed ones), per-edge retransmit
+    amplification, reorder depth, and the synchronizer's critical path —
+    which node entered each pulse last, and which edge's delivery gated
+    it.
+
+    All statistics derive from the events' simulated [at] times and
+    causal ids, never from wall-clock [ts_s] stamps: analyzing two
+    same-seed runs yields byte-identical reports.  On an unsampled,
+    non-overflowing trace the report's retransmit total reconciles
+    exactly with the [net.retries] counter of the run that produced
+    it. *)
+
+(** A parsed event.  Unrecognized [type]s parse to [Other]; recognized
+    ones with missing or ill-typed fields parse to [Malformed] (a
+    structural violation reported by {!validate}, not a parse
+    failure). *)
+type ev =
+  | Send of { cid : int; src : int; dst : int; at : float; bits : int }
+  | Deliver of { cid : int; src : int; dst : int; at : float }
+  | Fate of { kind : string; cid : int; src : int; dst : int }
+      (** ["chaos"] events: injected fates ([drop]/[dup]/...) and
+          protocol reactions ([retransmit]/[ack]/...). *)
+  | Pulse of { node : int; pulse : int; at : float }
+  | Other
+  | Malformed of string
+
+type trace = {
+  t_seen : int;
+  t_sampled : int;
+  t_dropped : int;
+  t_events : (int * ev) list;  (** [(seq, event)], document order *)
+}
+
+(** [parse j] reads a [ftspan.trace.v1] document.  [Error] means the
+    document is not structurally a v1 trace at all (wrong schema,
+    missing top-level fields) — the caller's "unreadable" class, as
+    opposed to per-event violations found by {!validate}. *)
+val parse : Obs_json.t -> (trace, string) result
+
+(** [load file] reads and {!parse}s a trace file.  [Error] covers I/O
+    failures, JSON syntax errors and schema mismatches alike. *)
+val load : string -> (trace, string) result
+
+(** [validate tr] lists structural violations: malformed events,
+    non-monotonic [seq]s, inconsistent seen/sampled/dropped accounting,
+    and — only when [t_dropped = 0], i.e. nothing was sampled out or
+    overwritten — deliveries whose send is absent.  Empty means
+    well-formed. *)
+val validate : trace -> string list
+
+type edge_stat = {
+  e_src : int;
+  e_dst : int;
+  e_msgs : int;  (** distinct application messages (causal ids) *)
+  e_sends : int;  (** transmission attempts, retransmits included *)
+  e_delivers : int;
+  e_retransmits : int;
+  e_giveups : int;
+  e_amplification : float;
+      (** [e_sends /. e_msgs]; [1.0] means no retransmission *)
+  e_max_reorder : int;
+  e_reordered : int;
+      (** first deliveries that overtook an earlier send on this edge *)
+}
+
+type pulse_stat = {
+  p_pulse : int;
+  p_node : int;  (** last node to enter the pulse (ties: smaller id) *)
+  p_at : float;
+  p_gate : (int * int * float) option;
+      (** [(src, dst, at)] of the latest delivery into that node at or
+          before the pulse entry — the edge that gated the pulse *)
+}
+
+type quantile = { q_label : string; q_value : float }
+
+type report = {
+  a_messages : int;
+  a_sends : int;
+  a_delivers : int;
+  a_delivered : int;
+  a_retransmits : int;
+  a_giveups : int;
+  a_acks : int;
+  a_dup_suppressed : int;
+  a_drops : int;
+  a_dups : int;
+  a_latency : quantile list;
+      (** exact p50/p90/p99/p999 of first-send to first-delivery gaps;
+          empty when nothing was delivered *)
+  a_latency_mean : float;
+  a_latency_max : float;
+  a_edges : edge_stat list;  (** busiest first, capped at [top] *)
+  a_edges_total : int;
+  a_max_reorder : int;
+  a_reordered : int;
+  a_pulses : pulse_stat list;
+}
+
+(** [analyze ?top tr] builds the report, keeping the [top] (default 10)
+    busiest directed edges by sends.  Raises [Invalid_argument] on
+    negative [top]. *)
+val analyze : ?top:int -> trace -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [json_of_report r] is the report as a [ftspan.trace-report.v1]
+    document. *)
+val json_of_report : report -> Obs_json.t

@@ -29,10 +29,14 @@ let scale s t =
    tolerance.  The chaos series ([net.drops] and friends) are likewise
    excluded: they count injected faults and protocol reactions, which
    any change to a fault plan or retransmit policy legitimately moves —
-   the gate guards the algorithm counters next to them instead. *)
+   the gate guards the algorithm counters next to them instead.
+   [gauge.*] values are instantaneous levels (queue depths, unacked
+   windows) — whatever the last snapshot happened to catch — and
+   [heartbeat.*] counts reporter-lock races; neither is a stable
+   quantity to gate on. *)
 let excluded_prefixes =
   [ "pool."; "net.drops"; "net.dups"; "net.reorders"; "net.retries";
-    "net.giveups" ]
+    "net.giveups"; "gauge."; "heartbeat." ]
 
 let scheduling_dependent name =
   List.exists

@@ -58,6 +58,7 @@ type state = {
   start_s : float;
   mutable last_beat_s : float;
   mutable beats : int;
+  skipped : int Atomic.t;
   mutable prev_counters : (string * int) list;
 }
 
@@ -66,6 +67,7 @@ let ops = Atomic.make 0
 
 (* Survives [stop] so the CLI can print a summary after closing. *)
 let last_beats = ref 0
+let last_skipped = ref 0
 
 let json_of_beat st =
   let now = Obs.now_s () in
@@ -103,8 +105,13 @@ let json_of_beat st =
       [
         ("schema", Obs_json.String "ftspan.heartbeat.v1");
         ("beat", Obs_json.Int st.beats);
+        ("skipped", Obs_json.Int (Atomic.get st.skipped));
         ("t_s", Obs_json.Float (now -. st.start_s));
         ("counters", Obs_json.Obj deltas);
+        ( "gauges",
+          (* levels, not rates: absolute values, no delta *)
+          Obs_json.Obj
+            (List.map (fun (n, v) -> (n, Obs_json.Int v)) snap.Obs.gauges) );
         ("quantiles", Obs_json.Obj quantiles);
         ( "gc",
           Obs_json.Obj
@@ -129,11 +136,16 @@ let beat st =
   st.prev_counters <- counters;
   st.last_beat_s <- now;
   st.beats <- st.beats + 1;
-  last_beats := st.beats
+  last_beats := st.beats;
+  last_skipped := Atomic.get st.skipped
 
-(* Best-effort from any domain: a pulse that loses the race just skips
-   its beat (the next one catches up), and a pulse racing [stop] finds
-   [active] cleared and backs off before touching the channel. *)
+(* Best-effort from any domain: a pulse that loses the race skips its
+   beat (the next one catches up) — but the loss is counted, both in the
+   state (every later beat reports the running total in its "skipped"
+   field) and in the registry ("heartbeat.skipped"), so a starved
+   reporter is visible instead of silent. *)
+let skipped_counter = lazy (Obs.counter "heartbeat.skipped")
+
 let try_beat st =
   if Mutex.try_lock st.writer then
     Fun.protect
@@ -142,6 +154,10 @@ let try_beat st =
         match Atomic.get active with
         | Some st' when st' == st -> beat st
         | _ -> ())
+  else begin
+    Atomic.incr st.skipped;
+    Obs.Counter.incr (Lazy.force skipped_counter)
+  end
 
 let pulse () =
   match Atomic.get active with
@@ -182,6 +198,7 @@ let start spec =
   let now = Obs.now_s () in
   Atomic.set ops 0;
   last_beats := 0;
+  last_skipped := 0;
   Atomic.set active
     (Some
        {
@@ -191,7 +208,9 @@ let start spec =
          start_s = now;
          last_beat_s = now;
          beats = 0;
+         skipped = Atomic.make 0;
          prev_counters = [];
        })
 
 let beats () = !last_beats
+let skipped () = !last_skipped

@@ -10,8 +10,9 @@
     appended:
 
     {v
-    {"schema":"ftspan.heartbeat.v1","beat":3,"t_s":1.51,
+    {"schema":"ftspan.heartbeat.v1","beat":3,"skipped":0,"t_s":1.51,
      "counters":{"lbc.calls":407,"net.retries":12},
+     "gauges":{"gauge.net.inflight":12,"gauge.reliable.unacked":3},
      "quantiles":{"reliable.rtt":{"count":913,"p50":4,"p90":8,"p99":20,"p999":30},
                   "pool.utilization":{"count":9,"p50":90,...}},
      "gc":{"minor_words":5.1e6,"promoted_words":...,"major_words":...,
@@ -20,13 +21,20 @@
 
     [counters] holds {e deltas} since the previous beat (nonzero only;
     a counter that went backwards was reset and reports its absolute
-    value); [quantiles] holds every non-empty histogram's count and
+    value); [gauges] holds every registered gauge's merged {e absolute}
+    level (a gauge is not a rate; deltas would be meaningless);
+    [quantiles] holds every non-empty histogram's count and
     p50/p90/p99/p999 per {!Obs.Histogram.quantile}; [gc] is from
     [Gc.quick_stat].  One final beat is always written by {!stop}, so
     even a run shorter than one interval leaves a line.
 
     Beats may fire from any domain (pulses race; one wins, the others
-    skip).  The snapshot honesty caveats of {!Obs.snapshot} apply. *)
+    skip).  A skipped beat is counted, not silent: every line's
+    [skipped] field is the running total of beats lost to the
+    [try_lock] race so far — the final beat reports the whole run's
+    figure — and the registry counter ["heartbeat.skipped"] tracks the
+    same total.  The snapshot honesty caveats of {!Obs.snapshot}
+    apply. *)
 
 (** A parsed [--metrics-stream] argument: where to append, and when a
     beat is due.  With both cadence fields [None], beats default to
@@ -61,3 +69,7 @@ val pulse : unit -> unit
 (** [beats ()] counts the lines written by the current stream — or, after
     {!stop}, by the last one (for end-of-run summaries). *)
 val beats : unit -> int
+
+(** [skipped ()] counts the beats the current (or, after {!stop}, the
+    last) stream lost to the [try_lock] race. *)
+val skipped : unit -> int

@@ -11,6 +11,12 @@ let pp ppf (snap : Obs.snapshot) =
       (fun (name, v) -> fprintf ppf "  %-32s %12d@," name v)
       snap.Obs.counters
   end;
+  if snap.Obs.gauges <> [] then begin
+    fprintf ppf "gauges:@,";
+    List.iter
+      (fun (name, v) -> fprintf ppf "  %-32s %12d@," name v)
+      snap.Obs.gauges
+  end;
   if snap.Obs.timers <> [] then begin
     fprintf ppf "timers:@,";
     List.iter
@@ -89,11 +95,20 @@ let rec json_of_span (s : Obs.span_view) =
     ]
 
 let json_of_snapshot (snap : Obs.snapshot) =
+  (* Gauges ride in the "counters" object: their names carry the
+     "gauge." prefix, so consumers that care (the bench gate) can carve
+     them out by name while everything else sees one flat numbers
+     table. *)
+  let numbers =
+    List.sort
+      (fun (a, _) (b, _) -> compare (a : string) b)
+      (snap.Obs.counters @ snap.Obs.gauges)
+  in
   Obs_json.Obj
     [
       ( "counters",
         Obs_json.Obj
-          (List.map (fun (name, v) -> (name, Obs_json.Int v)) snap.Obs.counters) );
+          (List.map (fun (name, v) -> (name, Obs_json.Int v)) numbers) );
       ( "timers",
         Obs_json.Obj
           (List.map

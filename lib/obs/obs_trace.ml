@@ -5,7 +5,10 @@ type payload =
   | Lbc_end of { edge : int; yes : bool; bfs_rounds : int; cut_size : int }
   | Greedy_edge of { edge : int; kept : bool; weight : float }
   | Congest_round of { round : int; messages : int; bits : int }
-  | Chaos_event of { kind : string; src : int; dst : int }
+  | Chaos_event of { kind : string; cid : int; src : int; dst : int }
+  | Msg_send of { cid : int; src : int; dst : int; at : float; bits : int }
+  | Msg_deliver of { cid : int; src : int; dst : int; at : float }
+  | Sync_pulse of { node : int; pulse : int; at : float }
   | Cluster_stats of { partition : int; clusters : int; max_depth : int }
   | Phase of { name : string; index : int }
   | Counter_sample of { name : string; value : int }
@@ -17,6 +20,13 @@ let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 
 let default_capacity = 1 lsl 16
+
+(* Causal ids are minted in emission order from one process-global
+   stream, so a seeded replay (same sends in the same order) assigns the
+   same ids — the property the analyzer's cross-run determinism and the
+   cid-keyed sampler both rely on.  {!start} rewinds the stream. *)
+let cid_counter = Atomic.make 0
+let mint_cid () = Atomic.fetch_and_add cid_counter 1
 
 (* ----------------------------- sampling ----------------------------- *)
 
@@ -33,15 +43,31 @@ let default_sample_seed = 1
 type sampler = {
   smp_keep : unit -> bool;  (* one draw from the private stream *)
   smp_lbc : (int, bool) Hashtbl.t;  (* pending Lbc_begin verdicts by edge *)
+  smp_cid : (int, bool) Hashtbl.t;  (* message-lifecycle verdicts by cid *)
 }
 
 let keep_always = function
-  | Span_begin _ | Span_end _ | Phase _ | Mark _ -> true
+  | Span_begin _ | Span_end _ | Phase _ | Mark _ | Sync_pulse _ -> true
   | Chaos_event { kind = "crash" | "recover" | "giveup"; _ } -> true
   | _ -> false
 
-(* Called under [lock]. *)
+(* Called under [lock].  Message events are pair-sampled by causal id:
+   the first event of a lifecycle draws the verdict and every later
+   event with the same cid (deliveries, chaos fates, retransmits,
+   acks) reuses it — a kept message keeps its whole life, a dropped one
+   vanishes entirely.  Verdicts are retained for the run: a lifecycle
+   has no single closing event. *)
 let admit smp payload =
+  let by_cid cid =
+    if cid < 0 then smp.smp_keep ()
+    else
+      match Hashtbl.find_opt smp.smp_cid cid with
+      | Some keep -> keep
+      | None ->
+          let keep = smp.smp_keep () in
+          Hashtbl.add smp.smp_cid cid keep;
+          keep
+  in
   keep_always payload
   ||
   match payload with
@@ -55,6 +81,8 @@ let admit smp payload =
           Hashtbl.remove smp.smp_lbc edge;
           keep
       | None -> smp.smp_keep ())
+  | Msg_send { cid; _ } | Msg_deliver { cid; _ } | Chaos_event { cid; _ } ->
+      by_cid cid
   | _ -> smp.smp_keep ()
 
 (* Ring state, guarded by [lock] (multi-domain producers: the parallel
@@ -109,6 +137,7 @@ let start ?(capacity = default_capacity) ?sample
   seen_count := 0;
   stored_count := 0;
   origin := Obs.now_s ();
+  Atomic.set cid_counter 0;
   sampler :=
     (match sample with
     | None | Some (One_in 1) -> None
@@ -120,7 +149,12 @@ let start ?(capacity = default_capacity) ?sample
           | Rate r -> fun () -> Random.State.float st 1. < r
           | One_in n -> fun () -> Random.State.int st n = 0
         in
-        Some { smp_keep = keep; smp_lbc = Hashtbl.create 64 });
+        Some
+          {
+            smp_keep = keep;
+            smp_lbc = Hashtbl.create 64;
+            smp_cid = Hashtbl.create 256;
+          });
   Mutex.unlock lock;
   Obs.set_span_hook (Some span_hook);
   Atomic.set enabled_flag true
@@ -259,10 +293,25 @@ let json_of_payload p =
         ("type", String "congest_round"); ("round", Int round);
         ("messages", Int messages); ("bits", Int bits);
       ]
-  | Chaos_event { kind; src; dst } ->
+  | Chaos_event { kind; cid; src; dst } ->
       [
-        ("type", String "chaos"); ("kind", String kind); ("src", Int src);
-        ("dst", Int dst);
+        ("type", String "chaos"); ("kind", String kind); ("cid", Int cid);
+        ("src", Int src); ("dst", Int dst);
+      ]
+  | Msg_send { cid; src; dst; at; bits } ->
+      [
+        ("type", String "msg_send"); ("cid", Int cid); ("src", Int src);
+        ("dst", Int dst); ("at", Float at); ("bits", Int bits);
+      ]
+  | Msg_deliver { cid; src; dst; at } ->
+      [
+        ("type", String "msg_deliver"); ("cid", Int cid); ("src", Int src);
+        ("dst", Int dst); ("at", Float at);
+      ]
+  | Sync_pulse { node; pulse; at } ->
+      [
+        ("type", String "sync_pulse"); ("node", Int node);
+        ("pulse", Int pulse); ("at", Float at);
       ]
   | Cluster_stats { partition; clusters; max_depth } ->
       [
@@ -364,10 +413,33 @@ let to_chrome () =
         Some
           (counter ~name:"net.traffic" ts_s
              [ ("round", Int round); ("messages", Int messages); ("bits", Int bits) ])
-    | Chaos_event { kind; src; dst } ->
+    | Chaos_event { kind; cid; src; dst } ->
         Some
           (instant ~name:("chaos." ^ kind)
-             ~args:[ ("src", Int src); ("dst", Int dst) ]
+             ~args:[ ("cid", Int cid); ("src", Int src); ("dst", Int dst) ]
+             ts_s)
+    | Msg_send { cid; src; dst; at; bits } ->
+        Some
+          (instant ~name:"msg.send"
+             ~args:
+               [
+                 ("cid", Int cid); ("src", Int src); ("dst", Int dst);
+                 ("at", Float at); ("bits", Int bits);
+               ]
+             ts_s)
+    | Msg_deliver { cid; src; dst; at } ->
+        Some
+          (instant ~name:"msg.deliver"
+             ~args:
+               [
+                 ("cid", Int cid); ("src", Int src); ("dst", Int dst);
+                 ("at", Float at);
+               ]
+             ts_s)
+    | Sync_pulse { node; pulse; at } ->
+        Some
+          (instant ~name:"sync.pulse"
+             ~args:[ ("node", Int node); ("pulse", Int pulse); ("at", Float at) ]
              ts_s)
     | Cluster_stats { partition; clusters; max_depth } ->
         Some

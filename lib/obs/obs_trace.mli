@@ -44,10 +44,25 @@ type payload =
       (** a greedy (poly/exp/batch) committed or rejected an edge *)
   | Congest_round of { round : int; messages : int; bits : int }
       (** one simulator round completed, with that round's traffic *)
-  | Chaos_event of { kind : string; src : int; dst : int }
-      (** one injected network fault or recovery action: [kind] is
-          ["drop"], ["dup"], ["reorder"], ["spike"], ["retransmit"] or
-          ["giveup"]; [src]/[dst] label the affected message *)
+  | Chaos_event of { kind : string; cid : int; src : int; dst : int }
+      (** one injected network fault, recovery action or delivery-protocol
+          event: [kind] is ["drop"], ["dup"], ["reorder"], ["spike"],
+          ["retransmit"], ["ack"], ["dup_suppress"] or ["giveup"];
+          [cid] is the affected message's causal id ([-1] when the fate
+          has no message, e.g. ["crash"]/["recover"]); [src]/[dst] label
+          the affected message *)
+  | Msg_send of { cid : int; src : int; dst : int; at : float; bits : int }
+      (** one physical transmission attempt of message [cid] on the wire
+          [src -> dst] at simulated time/round [at].  Retransmits of the
+          same application message emit further [Msg_send]s with the
+          {e same} cid, so sends-per-cid counts delivery attempts *)
+  | Msg_deliver of { cid : int; src : int; dst : int; at : float }
+      (** message [cid] reached [dst]'s inbox at simulated time/round
+          [at] (duplicate deliveries emit one event each) *)
+  | Sync_pulse of { node : int; pulse : int; at : float }
+      (** synchronizer [node] entered pulse number [pulse] at simulated
+          time [at]; always kept by the sampler — the analyzer's
+          critical-path reconstruction needs every pulse *)
   | Cluster_stats of { partition : int; clusters : int; max_depth : int }
       (** one partition of a padded decomposition converged *)
   | Phase of { name : string; index : int }
@@ -67,6 +82,13 @@ type event = {
 (** [enabled ()] is [false] until {!start} and after {!stop}. *)
 val enabled : unit -> bool
 
+(** [mint_cid ()] draws the next causal message id from a process-global
+    stream (dense, starting at 0, rewound by {!start}).  The simulators
+    mint one per application message; ids are assigned in send order, so
+    a seeded replay mints identical ids — the contract behind cid-keyed
+    sampling and the analyzer's cross-run determinism. *)
+val mint_cid : unit -> int
+
 (** A head-sampling policy: keep each candidate event with probability
     [Rate r] ([0 < r <= 1]) or [One_in n] (probability [1/n]). *)
 type sample = Rate of float | One_in of int
@@ -80,11 +102,16 @@ type sample = Rate of float | One_in of int
     private stream seeded by [sample_seed] (default 1) — the chaos-plan
     discipline, so a sampled run replays bit-for-bit for a fixed seed.
     Always kept regardless of the draw: [Span_begin]/[Span_end],
-    [Phase], [Mark], and the rare fault-recovery chaos kinds (["crash"],
-    ["recover"], ["giveup"]).  [Lbc_begin]/[Lbc_end] draw {e once per
-    pair} (keyed on the edge id), so exported traces keep their
-    begin/end balance.  Raises [Invalid_argument] on a rate outside
-    (0, 1] or [One_in n] with [n < 1]. *)
+    [Phase], [Mark], [Sync_pulse], and the rare fault-recovery chaos
+    kinds (["crash"], ["recover"], ["giveup"]).  [Lbc_begin]/[Lbc_end]
+    draw {e once per pair} (keyed on the edge id), so exported traces
+    keep their begin/end balance.  Message events
+    ([Msg_send]/[Msg_deliver]/[Chaos_event] with [cid >= 0]) draw once
+    per {e causal id}: a kept message keeps its entire lifecycle —
+    every retransmit, fate and delivery — and a sampled-out one
+    vanishes wholesale, so per-message statistics computed from a
+    sampled trace are unbiased.  Raises [Invalid_argument] on a rate
+    outside (0, 1] or [One_in n] with [n < 1]. *)
 val start : ?capacity:int -> ?sample:sample -> ?sample_seed:int -> unit -> unit
 
 (** [stop ()] disables collection and removes the span hook.  The buffer

@@ -202,6 +202,65 @@ sed '/"created_unix"/d; /"ts_s"/d' "$TMP/t-s3.json" > "$TMP/t-s3.stable"
 cmp -s "$TMP/t-s1.stable" "$TMP/t-s3.stable" \
   && fail "different sampling seeds must not keep the identical event set"
 
+# causal trace analysis: a lossy run small enough not to overflow the
+# trace ring (dropped=0) reconstructs a lifecycle report whose
+# retransmit total reconciles EXACTLY with the net.retries counter from
+# the same run's metrics document, and two same-seed runs analyze to
+# the byte-identical report (the analyzer reads the simulated clock,
+# never wall time)
+"$BIN" generate --family gnp -n 12 -p 0.5 --connect --seed 7 -o "$TMP/tiny.graph" \
+  >/dev/null || fail "generate tiny"
+"$BIN" congest --seed 11 -k 2 -f 1 -c 0.5 --chaos "$CHAOS" \
+  --trace "$TMP/ct1.json" --metrics=json "$TMP/tiny.graph" \
+  > "$TMP/ct1-metrics.json" || fail "congest --chaos --trace"
+"$BIN" congest --seed 11 -k 2 -f 1 -c 0.5 --chaos "$CHAOS" \
+  --trace "$TMP/ct2.json" "$TMP/tiny.graph" >/dev/null \
+  || fail "congest --chaos --trace rerun"
+"$COMPARE" --check-trace "$TMP/ct1.json" | grep -q "dropped)" \
+  || fail "compare --check-trace must accept the congest trace"
+"$COMPARE" --check-trace "$TMP/ct1.json" | grep -q ", 0 dropped)" \
+  || fail "reconciliation needs an unsampled, non-overflowing trace"
+"$BIN" trace analyze --json "$TMP/ct1.json" > "$TMP/ct1-report.json" \
+  || fail "trace analyze --json"
+"$BIN" trace analyze --json "$TMP/ct2.json" > "$TMP/ct2-report.json" \
+  || fail "trace analyze --json rerun"
+cmp -s "$TMP/ct1-report.json" "$TMP/ct2-report.json" \
+  || fail "same-seed lossy runs must analyze to the identical report"
+RETRANS=$("$BIN" trace analyze "$TMP/ct1.json" \
+  | sed -n 's/^fates: \([0-9][0-9]*\) retransmits.*/\1/p')
+RETRIES=$(sed -n 's/.*"net.retries": \([0-9][0-9]*\).*/\1/p' "$TMP/ct1-metrics.json")
+[ -n "$RETRANS" ] || fail "analyzer must report a retransmit total"
+[ -n "$RETRIES" ] || fail "metrics document must report net.retries"
+[ "$RETRANS" -gt 0 ] || fail "a lossy run must retransmit at least once"
+[ "$RETRANS" = "$RETRIES" ] \
+  || fail "analyzer retransmits ($RETRANS) must equal net.retries ($RETRIES)"
+
+# malformed trace documents: not-a-trace is usage-class (exit 2) for
+# both the CLI analyzer and the compare gate; a parsable trace that
+# violates the structural contract (non-monotonic seqs) is a gate
+# failure for --check-trace (exit 1) and still exit 2 for analyze
+echo 'not json at all' > "$TMP/bad-trace.json"
+"$BIN" trace analyze "$TMP/bad-trace.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "trace analyze on garbage must exit 2"
+"$COMPARE" --check-trace "$TMP/bad-trace.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "compare --check-trace on garbage must exit 2"
+printf '{"schema": "ftspan.metrics.v1"}\n' > "$TMP/wrong-schema.json"
+"$BIN" trace analyze "$TMP/wrong-schema.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "trace analyze on a non-trace schema must exit 2"
+"$COMPARE" --check-trace "$TMP/wrong-schema.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "compare --check-trace on a non-trace schema must exit 2"
+"$BIN" trace analyze "$TMP/no-such-trace.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "trace analyze on a missing file must exit 2"
+printf '%s\n' '{"schema": "ftspan.trace.v1", "seen": 2, "sampled": 2,' \
+  ' "dropped": 0, "events": [' \
+  '  {"seq": 5, "type": "msg_send", "cid": 0, "src": 0, "dst": 1, "at": 1.0, "bits": 8},' \
+  '  {"seq": 3, "type": "msg_deliver", "cid": 0, "src": 0, "dst": 1, "at": 2.0}]}' \
+  > "$TMP/unordered-trace.json"
+"$COMPARE" --check-trace "$TMP/unordered-trace.json" >/dev/null 2>&1
+[ $? -eq 1 ] || fail "compare --check-trace on non-monotonic seqs must exit 1"
+"$BIN" trace analyze "$TMP/unordered-trace.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "trace analyze on non-monotonic seqs must exit 2"
+
 # heartbeat stream: ops-paced beats from the CLI validate under the
 # stream gate, and the quantile block carries the new latency series
 "$BIN" congest --seed 11 -k 2 -f 1 -c 0.5 --chaos "$CHAOS" \

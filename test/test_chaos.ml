@@ -137,6 +137,87 @@ let test_crash_window () =
   checki "delivery after recovery" 1 (List.length (Net.inbox net 1));
   checki "both window losses counted" 2 (Chaos.counts ch).Chaos.c_drops
 
+(* ------------------------ physical congestion ------------------------- *)
+
+let test_congestion_counts_duplicates () =
+  (* dup=1.0 doubles every physical copy: the busiest per-edge-per-round
+     load is exactly twice the clean run's, while offered load matches *)
+  let flood chaos =
+    let g = Generators.path 2 in
+    let net =
+      match chaos with
+      | None -> Net.create ~model:Net.Local ~bits:(fun _ -> 4) g
+      | Some ch -> Net.create ~chaos:ch ~model:Net.Local ~bits:(fun _ -> 4) g
+    in
+    for i = 1 to 5 do
+      Net.send net ~src:0 ~dst:1 i
+    done;
+    Net.next_round net;
+    net
+  in
+  let clean = flood None in
+  let dup = flood (Some (Chaos.start (Chaos.plan ~dup:1.0 ()))) in
+  let sc = Net.stats clean and sd = Net.stats dup in
+  checki "clean busiest slot: 5 msgs x 4 bits" 20 sc.Net.max_edge_round_bits;
+  checki "dup'd copies charge the wire twice" 40 sd.Net.max_edge_round_bits;
+  checki "offered bits identical" sc.Net.total_bits sd.Net.total_bits;
+  (match Net.hot_edges dup with
+  | he :: _ ->
+      checki "leaderboard carries the doubled load" 40 he.Net.he_bits;
+      checki "slot busy for one round" 1 he.Net.he_rounds
+  | [] -> Alcotest.fail "no hot edges");
+  (* a crashed sender's message never touches the wire *)
+  let g = Generators.path 2 in
+  let ch = Chaos.start (Chaos.plan ~crashes:[ (0, 0., 10.) ] ()) in
+  let net = Net.create ~chaos:ch ~model:Net.Local ~bits:(fun _ -> 4) g in
+  Net.send net ~src:0 ~dst:1 0;
+  Net.next_round net;
+  checki "crashed sender charges nothing" 0
+    (Net.stats net).Net.max_edge_round_bits
+
+let test_congestion_seeded_replay () =
+  let run () =
+    let g = Generators.complete 5 in
+    let ch =
+      Chaos.start (Chaos.plan ~drop:0.3 ~dup:0.3 ~reorder:2 ~seed:21 ())
+    in
+    let net = Net.create ~chaos:ch ~model:Net.Local ~bits:(fun _ -> 8) g in
+    for round = 0 to 9 do
+      for src = 0 to 4 do
+        Net.broadcast net ~src round
+      done;
+      Net.next_round net
+    done;
+    ((Net.stats net).Net.max_edge_round_bits, Net.hot_edges net)
+  in
+  let m1, h1 = run () in
+  let m2, h2 = run () in
+  checki "max_edge_round_bits identical across replays" m1 m2;
+  checkb "hot-edge leaderboard identical" true (h1 = h2);
+  checkb "faults actually moved the physical load" true (m1 > 0)
+
+let test_congestion_skeleton_attribution () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  let g = Generators.path 3 in
+  (* edge 0 = {0,1} in the skeleton, edge 1 = {1,2} outside it *)
+  let net = Net.create ~model:Net.Local ~bits:(fun _ -> 4) g in
+  Net.set_skeleton net [| true; false |];
+  for _ = 1 to 3 do
+    Net.send net ~src:0 ~dst:1 0
+  done;
+  Net.send net ~src:1 ~dst:2 0;
+  Net.next_round net;
+  checki "skeleton-edge bits attributed" 12
+    (Obs.Counter.value (Obs.counter "net.bits.spanner"));
+  checki "off-skeleton bits attributed" 4
+    (Obs.Counter.value (Obs.counter "net.bits.other"));
+  checkb "size mismatch rejected" true
+    (try
+       Net.set_skeleton net [| true |];
+       false
+     with Invalid_argument _ -> true)
+
 (* ----------------------------- spec grammar --------------------------- *)
 
 let test_parse_spec () =
@@ -323,6 +404,15 @@ let () =
           Alcotest.test_case "dup" `Quick test_dup_only;
           Alcotest.test_case "reorder" `Quick test_reorder_only;
           Alcotest.test_case "crash window" `Quick test_crash_window;
+        ] );
+      ( "congestion",
+        [
+          Alcotest.test_case "duplicates charge the wire" `Quick
+            test_congestion_counts_duplicates;
+          Alcotest.test_case "seeded replay identical" `Quick
+            test_congestion_seeded_replay;
+          Alcotest.test_case "skeleton attribution" `Quick
+            test_congestion_skeleton_attribution;
         ] );
       ("spec grammar", [ Alcotest.test_case "parse" `Quick test_parse_spec ]);
       ( "reliable delivery",

@@ -59,6 +59,39 @@ let test_disabled_is_noop () =
   checkb "no span recorded" true
     (List.for_all (fun s -> s.Obs.s_name <> "test.disabled_span") snap.Obs.spans)
 
+(* -------------------------- gauges ----------------------------------- *)
+
+let test_gauge_basics () =
+  fresh ();
+  let g = Obs.gauge "gauge.test.level" in
+  checks "name" "gauge.test.level" (Obs.Gauge.name g);
+  checki "starts at zero" 0 (Obs.Gauge.value g);
+  Obs.Gauge.set g 5;
+  Obs.Gauge.add g 3;
+  checki "set + add" 8 (Obs.Gauge.value g);
+  Obs.Gauge.add g (-8);
+  checki "back to zero" 0 (Obs.Gauge.value g);
+  Obs.Gauge.set g 7;
+  let snap = Obs.snapshot () in
+  checki "snapshot carries gauges" 7
+    (List.assoc "gauge.test.level" snap.Obs.gauges);
+  Obs.reset ();
+  checki "reset clears" 0 (Obs.Gauge.value g);
+  Obs.set_enabled false;
+  Obs.Gauge.set g 9;
+  Obs.Gauge.add g 1;
+  Obs.set_enabled true;
+  checki "disabled is no-op" 0 (Obs.Gauge.value g)
+
+let test_gauge_sharded () =
+  fresh ();
+  let g = Obs.gauge "gauge.test.sharded" in
+  Obs.Gauge.add g 2;
+  (* set/add act on the calling domain's shard; value sums the shards *)
+  let d = Domain.spawn (fun () -> Obs.Gauge.add g 9; Obs.Gauge.set g 3) in
+  Domain.join d;
+  checki "value sums per-domain shards" 5 (Obs.Gauge.value g)
+
 (* -------------------------- timers ----------------------------------- *)
 
 let test_timer () =
@@ -326,6 +359,29 @@ let test_json_roundtrip () =
        (fun s -> Obs_json.to_str (member [ "name" ] s) = Some "rt.inner")
        children)
 
+let test_gauge_in_sink () =
+  fresh ();
+  Obs.Gauge.set (Obs.gauge "gauge.test.sink") 4;
+  Obs.Counter.add (Obs.counter "sink.test.counter") 1;
+  let entry = { Obs_sink.id = "unit"; wall_s = 0.; snap = Obs.snapshot () } in
+  let doc = Obs_sink.json_of_report ~created:0. [ entry ] in
+  let parsed =
+    match Obs_json.of_string (Obs_json.to_string doc) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "parse error: %s" e
+  in
+  let e =
+    List.hd (get_exn "entries" (Obs_json.to_list (member [ "entries" ] parsed)))
+  in
+  (* gauges merge into the counters object — that is what makes the
+     "gauge." prefix exclusion in Obs_compare meaningful *)
+  checki "gauge merged into counters" 4
+    (get_exn "gauge"
+       (Obs_json.to_int (member [ "counters"; "gauge.test.sink" ] e)));
+  checki "counters still there" 1
+    (get_exn "ctr"
+       (Obs_json.to_int (member [ "counters"; "sink.test.counter" ] e)))
+
 let test_json_parser_errors () =
   checkb "trailing garbage rejected" true
     (Result.is_error (Obs_json.of_string "{} x"));
@@ -553,7 +609,7 @@ let emit_mixed_workload () =
     if i mod 50 = 0 then
       Obs_trace.emit (Obs_trace.Phase { name = "block"; index = i / 50 })
   done;
-  Obs_trace.emit (Obs_trace.Chaos_event { kind = "crash"; src = 3; dst = -1 })
+  Obs_trace.emit (Obs_trace.Chaos_event { kind = "crash"; cid = -1; src = 3; dst = -1 })
 
 let sampled_run ?sample ?sample_seed () =
   Obs_trace.start ?sample ?sample_seed ();
@@ -639,6 +695,228 @@ let test_trace_spec_parsing () =
       checkb ("rejected: " ^ s) true (Result.is_error (Obs_trace.parse_spec s)))
     [ ""; ",chrome"; "t.json,sample=nope"; "t.json,sample=2.0"; "t.json,sample=1/0"; "t.json,seed=x" ]
 
+(* ----------------------- causal-id sampling --------------------------- *)
+
+(* 60 message lifecycles on one edge: send, a "retransmit" fate, deliver.
+   Under cid pair-sampling a kept message keeps all three events and a
+   dropped one keeps none. *)
+let emit_lifecycles () =
+  for i = 0 to 59 do
+    let cid = Obs_trace.mint_cid () in
+    let at = float_of_int i in
+    Obs_trace.emit (Obs_trace.Msg_send { cid; src = 0; dst = 1; at; bits = 8 });
+    Obs_trace.emit
+      (Obs_trace.Chaos_event { kind = "retransmit"; cid; src = 0; dst = 1 });
+    Obs_trace.emit
+      (Obs_trace.Msg_deliver { cid; src = 0; dst = 1; at = at +. 0.5 })
+  done
+
+let cid_sampled_run seed =
+  Obs_trace.start ~sample:(Obs_trace.Rate 0.2) ~sample_seed:seed ();
+  Fun.protect ~finally:Obs_trace.stop (fun () ->
+      emit_lifecycles ();
+      List.map (fun e -> e.Obs_trace.payload) (Obs_trace.events ()))
+
+let test_cid_pair_sampling () =
+  fresh ();
+  let evs = cid_sampled_run 5 in
+  let tally = Hashtbl.create 64 in
+  let bump cid = Hashtbl.replace tally cid (1 + Option.value ~default:0 (Hashtbl.find_opt tally cid)) in
+  List.iter
+    (function
+      | Obs_trace.Msg_send { cid; _ }
+      | Obs_trace.Msg_deliver { cid; _ }
+      | Obs_trace.Chaos_event { cid; _ } -> bump cid
+      | _ -> ())
+    evs;
+  checkb "a strict subset of lifecycles kept" true
+    (Hashtbl.length tally > 0 && Hashtbl.length tally < 60);
+  Hashtbl.iter
+    (fun cid n -> checki (Printf.sprintf "cid %d kept whole" cid) 3 n)
+    tally;
+  (* seeded replay keeps the identical set *)
+  fresh ();
+  let evs' = cid_sampled_run 5 in
+  checkb "same seed -> same kept lifecycles" true (evs = evs');
+  fresh ();
+  let evs'' = cid_sampled_run 6 in
+  checkb "different seed -> different kept set" true (evs <> evs'')
+
+let test_cid_minting_resets () =
+  fresh ();
+  Obs_trace.start ();
+  let first = Obs_trace.mint_cid () in
+  ignore (Obs_trace.mint_cid ());
+  Obs_trace.stop ();
+  checki "cids start at zero" 0 first;
+  Obs_trace.start ();
+  let again = Obs_trace.mint_cid () in
+  Obs_trace.stop ();
+  checki "start resets the mint" 0 again
+
+(* --------------------------- trace analysis --------------------------- *)
+
+let parsed_trace () =
+  match Obs_analyze.parse (Obs_trace.to_json ()) with
+  | Ok tr -> tr
+  | Error msg -> Alcotest.failf "trace rejected: %s" msg
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* A hand-built run with known lifecycles:
+     A: 0->1, sent at 1.0, dropped, retransmitted at 2.0, delivered 3.0
+     B: 0->1, sent at 1.5, delivered 2.0  (overtakes A on the wire)
+     C: 1->0, sent at 0.5, never delivered, given up
+   plus pulse-1 entries: node 0 at 2.0, node 1 at 2.5 (node 1 gates). *)
+let emit_known_run () =
+  let a = Obs_trace.mint_cid () in
+  Obs_trace.emit (Obs_trace.Msg_send { cid = a; src = 0; dst = 1; at = 1.0; bits = 8 });
+  Obs_trace.emit (Obs_trace.Chaos_event { kind = "drop"; cid = a; src = 0; dst = 1 });
+  Obs_trace.emit (Obs_trace.Chaos_event { kind = "retransmit"; cid = a; src = 0; dst = 1 });
+  Obs_trace.emit (Obs_trace.Msg_send { cid = a; src = 0; dst = 1; at = 2.0; bits = 8 });
+  let b = Obs_trace.mint_cid () in
+  Obs_trace.emit (Obs_trace.Msg_send { cid = b; src = 0; dst = 1; at = 1.5; bits = 8 });
+  Obs_trace.emit (Obs_trace.Msg_deliver { cid = b; src = 0; dst = 1; at = 2.0 });
+  Obs_trace.emit (Obs_trace.Msg_deliver { cid = a; src = 0; dst = 1; at = 3.0 });
+  let c = Obs_trace.mint_cid () in
+  Obs_trace.emit (Obs_trace.Msg_send { cid = c; src = 1; dst = 0; at = 0.5; bits = 4 });
+  Obs_trace.emit (Obs_trace.Chaos_event { kind = "giveup"; cid = c; src = 1; dst = 0 });
+  Obs_trace.emit (Obs_trace.Sync_pulse { node = 0; pulse = 1; at = 2.0 });
+  Obs_trace.emit (Obs_trace.Sync_pulse { node = 1; pulse = 1; at = 2.5 })
+
+let test_analyze_lifecycles () =
+  fresh ();
+  Obs_trace.start ();
+  emit_known_run ();
+  Obs_trace.stop ();
+  let tr = parsed_trace () in
+  checkb "well-formed" true (Obs_analyze.validate tr = []);
+  let r = Obs_analyze.analyze tr in
+  checki "messages" 3 r.Obs_analyze.a_messages;
+  checki "delivered" 2 r.Obs_analyze.a_delivered;
+  checki "sends" 4 r.Obs_analyze.a_sends;
+  checki "delivers" 2 r.Obs_analyze.a_delivers;
+  checki "retransmits" 1 r.Obs_analyze.a_retransmits;
+  checki "giveups" 1 r.Obs_analyze.a_giveups;
+  checki "drops" 1 r.Obs_analyze.a_drops;
+  (* latencies from first send: A = 3.0 - 1.0 = 2.0, B = 0.5 *)
+  checkf "mean latency" 1.25 r.Obs_analyze.a_latency_mean;
+  checkf "max latency" 2.0 r.Obs_analyze.a_latency_max;
+  let q label =
+    match
+      List.find_opt (fun q -> q.Obs_analyze.q_label = label) r.Obs_analyze.a_latency
+    with
+    | Some q -> q.Obs_analyze.q_value
+    | None -> Alcotest.failf "missing quantile %s" label
+  in
+  checkf "p50 exact" 0.5 (q "p50");
+  checkf "p99 exact" 2.0 (q "p99");
+  (* B (sent second) delivered before A: one inversion of depth 1 *)
+  checki "reordered deliveries" 1 r.Obs_analyze.a_reordered;
+  checki "max reorder depth" 1 r.Obs_analyze.a_max_reorder;
+  (* busiest edge 0->1: 2 messages, 3 sends -> amplification 1.5 *)
+  (match r.Obs_analyze.a_edges with
+  | e :: _ ->
+      checki "edge src" 0 e.Obs_analyze.e_src;
+      checki "edge dst" 1 e.Obs_analyze.e_dst;
+      checki "edge msgs" 2 e.Obs_analyze.e_msgs;
+      checki "edge sends" 3 e.Obs_analyze.e_sends;
+      checki "edge retransmits" 1 e.Obs_analyze.e_retransmits;
+      checkf "amplification" 1.5 e.Obs_analyze.e_amplification
+  | [] -> Alcotest.fail "no edges in report");
+  checki "edges with traffic" 2 r.Obs_analyze.a_edges_total;
+  (* pulse 1 gated by node 1 (enters last); its latest delivery at or
+     before the entry is B, 0->1 at 2.0 *)
+  match r.Obs_analyze.a_pulses with
+  | [ p ] ->
+      checki "gating node" 1 p.Obs_analyze.p_node;
+      checkf "pulse entry" 2.5 p.Obs_analyze.p_at;
+      checkb "gating edge" true (p.Obs_analyze.p_gate = Some (0, 1, 2.0))
+  | ps -> Alcotest.failf "expected one pulse, got %d" (List.length ps)
+
+let test_analyze_report_renders () =
+  fresh ();
+  Obs_trace.start ();
+  emit_known_run ();
+  Obs_trace.stop ();
+  let r = Obs_analyze.analyze (parsed_trace ()) in
+  let text = Format.asprintf "%a" Obs_analyze.pp_report r in
+  checkb "text mentions critical path" true (contains text "critical path");
+  let doc = Obs_analyze.json_of_report r in
+  match Obs_json.of_string (Obs_json.to_string ~indent:true doc) with
+  | Error e -> Alcotest.failf "report JSON unparseable: %s" e
+  | Ok j ->
+      checks "report schema" "ftspan.trace-report.v1"
+        (get_exn "schema" (Obs_json.to_str (member [ "schema" ] j)));
+      checki "retransmits round-trip" 1
+        (get_exn "retransmits" (Obs_json.to_int (member [ "retransmits" ] j)))
+
+let trace_doc ?(schema = "ftspan.trace.v1") ?(seen = 1) ?(sampled = 1)
+    ?(dropped = 0) events =
+  Obs_json.Obj
+    [
+      ("schema", Obs_json.String schema);
+      ("seen", Obs_json.Int seen);
+      ("sampled", Obs_json.Int sampled);
+      ("dropped", Obs_json.Int dropped);
+      ("events", Obs_json.List events);
+    ]
+
+let deliver_event seq cid =
+  Obs_json.Obj
+    [
+      ("seq", Obs_json.Int seq);
+      ("ts_s", Obs_json.Float 0.);
+      ("type", Obs_json.String "msg_deliver");
+      ("cid", Obs_json.Int cid);
+      ("src", Obs_json.Int 0);
+      ("dst", Obs_json.Int 1);
+      ("at", Obs_json.Float 1.0);
+    ]
+
+let test_analyze_validation () =
+  checkb "wrong schema is a parse error" true
+    (Result.is_error (Obs_analyze.parse (trace_doc ~schema:"other.v1" [])));
+  checkb "missing top-level field is a parse error" true
+    (Result.is_error
+       (Obs_analyze.parse (Obs_json.Obj [ ("schema", Obs_json.String "ftspan.trace.v1") ])));
+  let ok_parse d =
+    match Obs_analyze.parse d with
+    | Ok tr -> tr
+    | Error msg -> Alcotest.failf "parse failed: %s" msg
+  in
+  (* a lossless trace with a delivery but no send violates the lifecycle
+     contract ... *)
+  let tr = ok_parse (trace_doc [ deliver_event 0 7 ]) in
+  checkb "orphan delivery flagged" true
+    (List.exists (fun v -> contains v "without a send") (Obs_analyze.validate tr));
+  (* ... but sampling (dropped > 0) excuses the missing send *)
+  let tr = ok_parse (trace_doc ~seen:2 ~dropped:1 [ deliver_event 0 7 ]) in
+  checkb "sampled trace excused" true (Obs_analyze.validate tr = []);
+  (* non-monotonic seqs *)
+  let tr =
+    ok_parse (trace_doc ~seen:2 ~sampled:2 [ deliver_event 5 7; deliver_event 3 7 ])
+  in
+  checkb "non-monotonic seq flagged" true
+    (List.exists (fun v -> contains v "non-monotonic") (Obs_analyze.validate tr));
+  (* an event of a known type missing its fields *)
+  let bad =
+    Obs_json.Obj
+      [ ("seq", Obs_json.Int 0); ("type", Obs_json.String "msg_send") ]
+  in
+  let tr = ok_parse (trace_doc [ bad ]) in
+  checkb "malformed typed event flagged" true (Obs_analyze.validate tr <> []);
+  (* unknown event types are fine (forward compatibility) *)
+  let other =
+    Obs_json.Obj
+      [ ("seq", Obs_json.Int 0); ("type", Obs_json.String "mystery") ]
+  in
+  checkb "unknown type tolerated" true
+    (Obs_analyze.validate (ok_parse (trace_doc [ other ])) = [])
+
 (* --------------------------- heartbeat -------------------------------- *)
 
 let test_heartbeat_spec_parsing () =
@@ -718,6 +996,48 @@ let test_heartbeat_stream () =
           ignore
             (get_exn "p99"
                (Obs_json.to_number (member [ "quantiles"; "test.hb_lat"; "p99" ] j))))
+        beats)
+
+let test_heartbeat_skipped_and_gauges () =
+  fresh ();
+  let file = Filename.temp_file "ftspan_hb" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      (match Obs_heartbeat.parse_spec (file ^ ",ops=5") with
+      | Ok spec -> Obs_heartbeat.start spec
+      | Error msg -> Alcotest.failf "spec rejected: %s" msg);
+      Obs.Gauge.set (Obs.gauge "gauge.test.hb") 3;
+      for _ = 1 to 7 do
+        Obs_heartbeat.pulse ()
+      done;
+      Obs_heartbeat.stop ();
+      (* single-threaded: the try_lock never loses *)
+      checki "no beats skipped without contention" 0 (Obs_heartbeat.skipped ());
+      let ic = open_in file in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let beats =
+        List.map
+          (fun line ->
+            match Obs_json.of_string line with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "beat unparseable: %s" e)
+          (List.rev !lines)
+      in
+      checki "cadence beat + final beat" 2 (List.length beats);
+      List.iter
+        (fun j ->
+          checki "skipped field present and zero" 0
+            (get_exn "skipped" (Obs_json.to_int (member [ "skipped" ] j)));
+          (* gauges report absolute values, not deltas *)
+          checki "gauge level in beat" 3
+            (get_exn "gauge"
+               (Obs_json.to_int (member [ "gauges"; "gauge.test.hb" ] j))))
         beats)
 
 (* --------------------------- compare ---------------------------------- *)
@@ -822,6 +1142,8 @@ let () =
           Alcotest.test_case "timer" `Quick test_timer;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "histogram overflow" `Quick test_histogram_overflow;
+          Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
+          Alcotest.test_case "gauge sharded" `Quick test_gauge_sharded;
         ] );
       ( "quantiles",
         [
@@ -845,6 +1167,8 @@ let () =
       ( "json",
         [
           Alcotest.test_case "report round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "gauges merge into counters" `Quick
+            test_gauge_in_sink;
           Alcotest.test_case "parser errors" `Quick test_json_parser_errors;
         ] );
       ( "integration",
@@ -873,12 +1197,23 @@ let () =
           Alcotest.test_case "seeded determinism" `Quick
             test_sampling_deterministic;
           Alcotest.test_case "one-in-n" `Quick test_sampling_one_in_n;
+          Alcotest.test_case "cid lifecycles" `Quick test_cid_pair_sampling;
+          Alcotest.test_case "cid minting resets" `Quick
+            test_cid_minting_resets;
           Alcotest.test_case "spec parsing" `Quick test_trace_spec_parsing;
         ] );
       ( "heartbeat",
         [
           Alcotest.test_case "spec parsing" `Quick test_heartbeat_spec_parsing;
           Alcotest.test_case "jsonl stream" `Quick test_heartbeat_stream;
+          Alcotest.test_case "skipped + gauges" `Quick
+            test_heartbeat_skipped_and_gauges;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "lifecycle report" `Quick test_analyze_lifecycles;
+          Alcotest.test_case "rendering" `Quick test_analyze_report_renders;
+          Alcotest.test_case "validation" `Quick test_analyze_validation;
         ] );
       ( "compare",
         [

@@ -51,10 +51,12 @@ let edge_blocked mask id =
    to [max_hops] levels, stopping as soon as [dst] is reached.  Returns
    [true] iff [dst] was reached.
 
-   The frontier scan indexes the CSR slices of [Graph.adjacency] directly
-   (append-buffer chain first, then the packed slice — the same
-   newest-first order the list adjacency had), which is the hot path of
-   every LBC call and hence of the whole greedy pipeline. *)
+   The frontier scan goes through one [Csr.scanner] built per traversal:
+   the storage-backend dispatch and array captures happen once, and the
+   per-vertex scan walks the append-buffer chain first, then the packed
+   slice — the same newest-first order the list adjacency had, identical
+   for both backends.  This is the hot path of every LBC call and hence
+   of the whole greedy pipeline. *)
 let search ws ~blocked_vertices ~blocked_edges g ~src ~dst ~max_hops =
   let open Workspace in
   ensure ws (Graph.n g);
@@ -65,10 +67,7 @@ let search ws ~blocked_vertices ~blocked_edges g ~src ~dst ~max_hops =
   then false
   else if src = dst then true
   else begin
-    let adj = Graph.adjacency g in
-    let off = adj.Csr.off and nbr = adj.Csr.nbr and eid = adj.Csr.eid in
-    let bhead = adj.Csr.buf_head and bnbr = adj.Csr.buf_nbr in
-    let beid = adj.Csr.buf_eid and bnext = adj.Csr.buf_next in
+    let scan = Csr.scanner (Graph.adjacency g) in
     ws.seen.(src) <- stamp;
     ws.depth.(src) <- 0;
     ws.parent_edge.(src) <- -1;
@@ -100,14 +99,7 @@ let search ws ~blocked_vertices ~blocked_edges g ~src ~dst ~max_hops =
             end
           end
         in
-        let j = ref bhead.(x) in
-        while !j >= 0 do
-          visit bnbr.(!j) beid.(!j);
-          j := bnext.(!j)
-        done;
-        for i = off.(x) to off.(x + 1) - 1 do
-          visit nbr.(i) eid.(i)
-        done
+        scan x visit
       end
     done;
     Obs.Counter.add m_nodes !head;
@@ -140,10 +132,7 @@ let distances ?blocked_vertices ?blocked_edges g src =
   Obs.Counter.incr m_searches;
   if vertex_blocked blocked_vertices src then dist
   else begin
-    let adj = Graph.adjacency g in
-    let off = adj.Csr.off and nbr = adj.Csr.nbr and eid = adj.Csr.eid in
-    let bhead = adj.Csr.buf_head and bnbr = adj.Csr.buf_nbr in
-    let beid = adj.Csr.buf_eid and bnext = adj.Csr.buf_next in
+    let scan = Csr.scanner (Graph.adjacency g) in
     let queue = Array.make n 0 in
     dist.(src) <- 0;
     queue.(0) <- src;
@@ -164,14 +153,7 @@ let distances ?blocked_vertices ?blocked_edges g src =
           incr tail
         end
       in
-      let j = ref bhead.(x) in
-      while !j >= 0 do
-        visit bnbr.(!j) beid.(!j);
-        j := bnext.(!j)
-      done;
-      for i = off.(x) to off.(x + 1) - 1 do
-        visit nbr.(i) eid.(i)
-      done
+      scan x visit
     done;
     Obs.Counter.add m_nodes !head;
     Obs.Counter.add m_edges !scanned;

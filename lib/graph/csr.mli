@@ -1,73 +1,157 @@
-(** Incremental compressed-sparse-row (CSR) adjacency.
+(** Incremental compressed-sparse-row (CSR) adjacency with pluggable
+    packed storage.
 
-    The flat core behind {!Graph}: incident half-edges live in packed int
+    The flat core behind {!Graph}: incident half-edges live in packed
     arrays instead of cons lists, so the traversal inner loops ({!Bfs},
-    {!Dijkstra}, {!Hop_dp}) walk contiguous memory.  Two regions hold the
-    half-edges of a vertex [u]:
+    {!Dijkstra}, {!Hop_dp}) walk contiguous memory.  Two regions hold
+    the half-edges of a vertex [u]:
 
     - the {b packed region} — [nbr.(i)]/[eid.(i)] for
-      [i] in [off.(u) .. off.(u+1) - 1], the classic CSR layout;
+      [i] in [off.(u) .. off.(u+1) - 1], the classic CSR layout, stored
+      in one of two {!backend}s:
+      {ul
+       {- [Int_array] — native OCaml [int array]s (one word per entry);}
+       {- [Int32_bigarray] — [int32] C-layout [Bigarray]s, half the
+          resident bytes and cache-denser inner loops, indexable up to
+          [Int32.max_int] half-edges.  Binary graph files
+          ({!Graph_binio}) map straight into this backend.}}
     - the {b append buffer} — a chain starting at [buf_head.(u)] through
-      [buf_next], holding the half-edges added since the last compaction.
+      [buf_next], holding the half-edges added since the last
+      compaction.  Always native [int array]s: it is small and
+      mutation-heavy, so the backend seam only covers the packed bulk.
 
-    {!add} appends into the buffer in O(1) and, once the buffer holds more
-    than a quarter of the packed half-edges (with a constant floor),
-    merges it into a fresh packed layout ({!compact}).  The merge is
-    geometric, so the total compaction cost over [m] insertions is
-    [O((n + m) log m)] — negligible next to even a single BFS per
-    insertion, the access pattern of the greedy spanner loop.
+    {!add} appends into the buffer in O(1) and, once the buffer holds
+    more than a quarter of the packed half-edges (floor
+    {!compaction_floor}), merges it into a fresh packed layout
+    ({!compact}).  The merge is geometric, so the total compaction cost
+    over [m] insertions is [O((n + m) log m)] — negligible next to even
+    a single BFS per insertion, the access pattern of the greedy
+    spanner loop.
 
-    {b Ordering contract}: iteration enumerates the half-edges of a vertex
-    in strictly decreasing edge-id order (newest first) — buffer chain
-    first, then the packed slice.  This is exactly the order of the
-    historical [(neighbor, id) list] adjacency, which greedy verdicts,
-    BFS parents and the checked-in bench counters all depend on;
-    {!compact} preserves it.
+    {b Ordering contract}: iteration enumerates the half-edges of a
+    vertex in strictly decreasing edge-id order (newest first) — buffer
+    chain first, then the packed slice.  This is exactly the order of
+    the historical [(neighbor, id) list] adjacency, which greedy
+    verdicts, BFS parents and the checked-in bench counters all depend
+    on; {!compact}, {!convert} and both backends preserve it, so
+    selections are bit-identical whichever backend holds the graph.
 
-    {b Concurrency}: [iter], [find], [degree] and reads of the public
-    fields never mutate; concurrent readers (e.g. the parallel batch
-    decision phase) are safe.  [add] may compact and replace the arrays —
-    single writer, no concurrent readers during a write. *)
+    {b Concurrency}: {!iter}, {!scanner}, {!find}, {!degree} never
+    mutate; concurrent readers (e.g. the parallel batch decision phase)
+    are safe.  {!add} may compact and replace the arrays — single
+    writer, no concurrent readers during a write. *)
 
-type t = private {
-  n : int;  (** vertex count, fixed at creation *)
-  mutable off : int array;  (** [n + 1] slice offsets into [nbr]/[eid] *)
-  mutable nbr : int array;  (** packed neighbor vertices *)
-  mutable eid : int array;  (** packed edge ids, parallel to [nbr] *)
-  mutable buf_head : int array;
-      (** per-vertex head of the append-buffer chain, [-1] when empty *)
-  mutable buf_nbr : int array;  (** buffered neighbor vertices *)
-  mutable buf_eid : int array;  (** buffered edge ids *)
-  mutable buf_next : int array;  (** chain links, [-1] terminated *)
-  mutable buf_len : int;  (** half-edges currently buffered *)
-  mutable deg : int array;  (** per-vertex degree (packed + buffered) *)
-  mutable half : int;  (** total half-edges stored *)
-}
-(** Read-only view; hot loops index [off]/[nbr]/[eid] and walk the
-    [buf_*] chains directly (see {!Bfs.search} for the idiom).  The
-    arrays are replaced wholesale by {!add}-triggered compaction: capture
-    them once per traversal of an unchanging structure, re-read after any
-    [add]. *)
+(** Packed-region storage backends. *)
+type backend =
+  | Int_array  (** native [int array]s — the default *)
+  | Int32_bigarray  (** [int32] C-layout Bigarrays — half the words *)
 
-(** [create n] is the empty adjacency over vertices [0 .. n-1]. *)
-val create : int -> t
+(** [backend_name b] is ["int"] or ["int32"] (the CLI/bench spelling). *)
+val backend_name : backend -> string
+
+(** An [int32] C-layout Bigarray slice — the storage unit of the
+    [Int32_bigarray] backend and of {!Graph_binio} mapped regions. *)
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+(** {1 Construction} *)
+
+(** [create ?backend n] is the empty adjacency over vertices [0 .. n-1].
+    [backend] defaults to {!default_backend}. *)
+val create : ?backend:backend -> int -> t
 
 (** [add t u v id] records the half-edge [u -> v] with edge id [id].
     Amortized O(1); may trigger {!compact}.  Callers add both directions
     of an undirected edge.  No bounds or duplicate checks — {!Graph}
-    validates. *)
+    validates — except the overflow guard: raises [Invalid_argument]
+    when the half-edge count would exceed the backend's index range
+    ({!max_half}) instead of wrapping around. *)
 val add : t -> int -> int -> int -> unit
+
+(** [convert b t] is an independent copy of [t] repacked into backend
+    [b] (compacted first; the iteration order, and hence every verdict
+    derived from it, is unchanged).  Raises [Invalid_argument] if [t]
+    does not fit [b]'s index range. *)
+val convert : backend -> t -> t
+
+(** [copy t] is an independent deep copy (same backend). *)
+val copy : t -> t
+
+(** {1 Bulk constructors}
+
+    For loaders ({!Graph_binio}) that already hold a packed layout and
+    must not pay per-edge insertion.  Both validate shape — offsets
+    monotone from 0 and covering [nbr]/[eid], neighbors in range —
+    and raise [Invalid_argument] otherwise; edge-id semantics are
+    checked by [Graph.of_adjacency].  The arrays are adopted, not
+    copied: do not mutate them afterwards. *)
+
+(** [of_packed_int ~off ~nbr ~eid] wraps a packed [Int_array] layout
+    ([off] has [n+1] entries). *)
+val of_packed_int : off:int array -> nbr:int array -> eid:int array -> t
+
+(** [of_packed_i32 ~off ~nbr ~eid] wraps a packed [Int32_bigarray]
+    layout — e.g. regions mapped straight from a binary graph file. *)
+val of_packed_i32 : off:i32 -> nbr:i32 -> eid:i32 -> t
+
+(** {1 Traversal} *)
 
 (** [iter t u fn] applies [fn v id] to every half-edge of [u], newest
     first (see the ordering contract above). *)
 val iter : t -> int -> (int -> int -> unit) -> unit
 
-(** [find t u v] is the id of the most recently added half-edge [u -> v],
-    if any. *)
+(** [scanner t] resolves the backend dispatch and array captures once
+    and returns the per-vertex scan: [scan u fn] is {!iter}[ t u fn].
+    The hot-loop idiom — build one scanner per traversal of an
+    unchanging structure, re-build after any {!add} (compaction replaces
+    the arrays wholesale). *)
+val scanner : t -> int -> (int -> int -> unit) -> unit
+
+(** [find t u v] is the id of the most recently added half-edge
+    [u -> v], if any. *)
 val find : t -> int -> int -> int option
 
 (** [degree t u] is the number of half-edges of [u].  O(1). *)
 val degree : t -> int -> int
+
+(** {1 Storage accounting} *)
+
+(** [backend t] is the backend holding [t]'s packed region. *)
+val backend : t -> backend
+
+(** [vertices t] is the vertex count [n]. *)
+val vertices : t -> int
+
+(** [half_edges t] is the total number of half-edges stored (twice the
+    edge count). *)
+val half_edges : t -> int
+
+(** [resident_bytes t] is the resident size of [t]'s storage in bytes
+    (packed region at the backend's width plus buffers and degrees).
+    Also exported as the [gauge.graph.bytes.int]/[.int32] gauges,
+    refreshed whenever an adjacency is (re)built. *)
+val resident_bytes : t -> int
+
+(** [max_half b] is the largest half-edge count backend [b] can index
+    ([Sys.max_array_length] / [Int32.max_int]). *)
+val max_half : backend -> int
+
+(** The compaction trigger floor, in buffered half-edges (see {!add}). *)
+val compaction_floor : int
+
+(** {1 Process default}
+
+    [Graph.create] picks {!default_backend} unless told otherwise;
+    [set_default_backend] flips the whole process (the bench harness's
+    [--backend int32] does this once at startup — counters stay
+    bit-identical, only wall time and resident bytes move). *)
+
+val set_default_backend : backend -> unit
+
+val default_backend : unit -> backend
+
+(** {1 Maintenance} *)
 
 (** [buffered t] is the number of half-edges awaiting compaction
     (exposed for the compaction-invariant tests). *)
@@ -76,6 +160,3 @@ val buffered : t -> int
 (** [compact t] merges the append buffer into the packed region; a no-op
     when the buffer is empty.  Iteration order is unchanged. *)
 val compact : t -> unit
-
-(** [copy t] is an independent deep copy. *)
-val copy : t -> t

@@ -19,10 +19,7 @@ let edge_blocked mask id =
    [parent_edge]/[parent_vertex] when provided. *)
 let run ?blocked_vertices ?blocked_edges ?parent_edge ?parent_vertex
     ?(cutoff = infinity) ?stop_at g src dist =
-  let adj = Graph.adjacency g in
-  let off = adj.Csr.off and nbr = adj.Csr.nbr and eid = adj.Csr.eid in
-  let bhead = adj.Csr.buf_head and bnbr = adj.Csr.buf_nbr in
-  let beid = adj.Csr.buf_eid and bnext = adj.Csr.buf_next in
+  let scan = Csr.scanner (Graph.adjacency g) in
   let heap = Pqueue.create ~capacity:(Graph.n g) in
   if not (vertex_blocked blocked_vertices src) then begin
     dist.(src) <- 0.;
@@ -57,14 +54,7 @@ let run ?blocked_vertices ?blocked_edges ?parent_edge ?parent_vertex
                 end
               end
             in
-            let j = ref bhead.(x) in
-            while !j >= 0 do
-              relax bnbr.(!j) beid.(!j);
-              j := bnext.(!j)
-            done;
-            for i = off.(x) to off.(x + 1) - 1 do
-              relax nbr.(i) eid.(i)
-            done
+            scan x relax
           end
         end
   done;

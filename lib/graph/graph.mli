@@ -11,12 +11,18 @@
     which every weight equals [1.0] is treated as unweighted by algorithms
     that care about the distinction (see {!is_unit_weighted}).
 
-    Adjacency is stored flat ({!Csr}: packed offset/neighbor/edge-id int
-    arrays plus an append buffer for recent insertions), so traversal
+    Adjacency is stored flat ({!Csr}: packed offset/neighbor/edge-id
+    slices plus an append buffer for recent insertions), so traversal
     inner loops stream over contiguous memory rather than chasing cons
-    cells.  This module remains the construction and ownership layer:
-    build and mutate through it, read through {!iter_neighbors} (or the
-    raw {!adjacency} view in hot loops). *)
+    cells.  The packed slices live in a pluggable storage {!Csr.backend}
+    — native [int array]s by default, or compact [int32] Bigarrays
+    ([Graph.create ~backend:Csr.Int32_bigarray], half the resident
+    bytes, the landing zone for {!Graph_binio} binary loads).  Both
+    backends expose the same iteration order, so every selection and
+    counter is bit-identical whichever one holds the graph.  This module
+    remains the construction and ownership layer: build and mutate
+    through it, read through {!iter_neighbors} (or a {!Csr.scanner} over
+    {!adjacency} in hot loops). *)
 
 type edge = private {
   u : int;  (** smaller endpoint *)
@@ -29,8 +35,14 @@ type t
 
 (** {1 Construction} *)
 
-(** [create n] is the edgeless graph on vertices [0..n-1]. *)
-val create : int -> t
+(** [create ?backend n] is the edgeless graph on vertices [0..n-1].
+
+    {b Migration note}: [?backend] selects the {!Csr} packed-storage
+    backend and defaults to {!Csr.default_backend} (i.e.
+    [Csr.Int_array] unless the process flipped it), so existing callers
+    are unchanged.  Pass [~backend:Csr.Int32_bigarray] for the compact
+    layout. *)
+val create : ?backend:Csr.backend -> int -> t
 
 (** [add_edge g u v ~w] appends the edge [{u,v}] with weight [w] and returns
     its id.  Raises [Invalid_argument] on self-loops, out-of-range
@@ -41,13 +53,28 @@ val add_edge : t -> int -> int -> w:float -> int
 val add_edge_unit : t -> int -> int -> int
 
 (** [of_edges n pairs] builds a unit-weight graph from an edge list. *)
-val of_edges : int -> (int * int) list -> t
+val of_edges : ?backend:Csr.backend -> int -> (int * int) list -> t
 
 (** [of_weighted_edges n triples] builds a graph from [(u, v, w)] triples. *)
-val of_weighted_edges : int -> (int * int * float) list -> t
+val of_weighted_edges : ?backend:Csr.backend -> int -> (int * int * float) list -> t
+
+(** [of_adjacency ?weights adj] adopts a pre-built adjacency (typically
+    from {!Csr.of_packed_i32} over file-mapped regions) and
+    reconstructs the edge store in one linear pass — the bulk-load path
+    that skips [add_edge]'s per-edge duplicate probe.  [weights.(id)]
+    supplies edge weights (default all [1.0]).  Validates everything
+    [add_edge] would have: raises [Invalid_argument] unless every id in
+    [0, m) is exactly one undirected, non-loop, non-parallel edge with
+    positive weight. *)
+val of_adjacency : ?weights:float array -> Csr.t -> t
 
 (** [copy g] is an independent copy sharing nothing mutable with [g]. *)
 val copy : t -> t
+
+(** [with_backend b g] is an independent copy of [g] with its adjacency
+    repacked into backend [b] — same edge ids, same iteration order,
+    hence bit-identical traversals and selections. *)
+val with_backend : Csr.backend -> t -> t
 
 (** {1 Accessors} *)
 
@@ -106,11 +133,19 @@ val edge_array : t -> edge array
 val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
 
 (** [adjacency g] is the live flat adjacency ({!Csr.t}) of [g], for
-    traversals that index the offset/neighbor/edge-id slices directly
-    ({!Bfs}, {!Dijkstra}, {!Hop_dp}).  Read-only: the arrays are replaced
-    wholesale by the next {!add_edge}-triggered compaction, so capture the
-    view once per traversal and re-fetch after any mutation. *)
+    traversals that scan with a {!Csr.scanner} ({!Bfs}, {!Dijkstra},
+    {!Hop_dp}).  Read-only: the arrays are replaced wholesale by the
+    next {!add_edge}-triggered compaction, so build one scanner per
+    traversal and re-build after any mutation. *)
 val adjacency : t -> Csr.t
+
+(** [backend g] is the storage backend of [g]'s adjacency. *)
+val backend : t -> Csr.backend
+
+(** [resident_bytes g] is the resident size of [g]'s adjacency storage
+    in bytes (see {!Csr.resident_bytes}; the edge store is excluded —
+    it is backend-independent). *)
+val resident_bytes : t -> int
 
 (** {1 Aggregates} *)
 

@@ -1,61 +1,93 @@
+let binary_suffix = ".ftsb"
+
+let add_edge_line buf e =
+  Buffer.add_string buf
+    (Printf.sprintf "e %d %d %.12g\n" e.Graph.u e.Graph.v e.Graph.w)
+
 let to_string g =
   let buf = Buffer.create (64 + (Graph.m g * 16)) in
   Buffer.add_string buf (Printf.sprintf "p %d %d\n" (Graph.n g) (Graph.m g));
-  Graph.iter_edges g (fun e ->
-      Buffer.add_string buf (Printf.sprintf "e %d %d %.12g\n" e.Graph.u e.Graph.v e.Graph.w));
+  Graph.iter_edges g (fun e -> add_edge_line buf e);
   Buffer.contents buf
 
-let of_string s =
+(* One text record.  [fail] receives the 1-based line number so callers
+   can prefix whatever location context they have (file name for [load],
+   nothing for [of_string]). *)
+let parse_line ?backend ~fail graph line_no line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then ()
+  else
+    match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+    | [ "p"; n; _m ] -> (
+        if !graph <> None then fail line_no "duplicate p line";
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> graph := Some (Graph.create ?backend n)
+        | _ -> fail line_no "bad vertex count")
+    | "e" :: u :: v :: rest -> (
+        match !graph with
+        | None -> fail line_no "edge before p line"
+        | Some g -> (
+            let w =
+              match rest with
+              | [] -> Some 1.0
+              | [ w ] -> float_of_string_opt w
+              | _ -> None
+            in
+            match (int_of_string_opt u, int_of_string_opt v, w) with
+            | Some u, Some v, Some w -> (
+                try ignore (Graph.add_edge g u v ~w)
+                with Invalid_argument msg -> fail line_no msg)
+            | _ -> fail line_no "bad edge line"))
+    | _ -> fail line_no "unrecognized record"
+
+let of_string ?backend s =
   let lines = String.split_on_char '\n' s in
   let graph = ref None in
-  let fail line_no msg = failwith (Printf.sprintf "Graph_io: line %d: %s" line_no msg) in
-  List.iteri
-    (fun i line ->
-      let line_no = i + 1 in
-      let line = String.trim line in
-      if line = "" || line.[0] = '#' then ()
-      else
-        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
-        | [ "p"; n; _m ] -> (
-            if !graph <> None then fail line_no "duplicate p line";
-            match int_of_string_opt n with
-            | Some n when n >= 0 -> graph := Some (Graph.create n)
-            | _ -> fail line_no "bad vertex count")
-        | "e" :: u :: v :: rest -> (
-            match !graph with
-            | None -> fail line_no "edge before p line"
-            | Some g -> (
-                let w =
-                  match rest with
-                  | [] -> Some 1.0
-                  | [ w ] -> float_of_string_opt w
-                  | _ -> None
-                in
-                match (int_of_string_opt u, int_of_string_opt v, w) with
-                | Some u, Some v, Some w -> (
-                    try ignore (Graph.add_edge g u v ~w)
-                    with Invalid_argument msg -> fail line_no msg)
-                | _ -> fail line_no "bad edge line"))
-        | _ -> fail line_no "unrecognized record")
-    lines;
+  let fail line_no msg =
+    failwith (Printf.sprintf "Graph_io: line %d: %s" line_no msg)
+  in
+  List.iteri (fun i line -> parse_line ?backend ~fail graph (i + 1) line) lines;
   match !graph with
   | Some g -> g
   | None -> failwith "Graph_io: missing p line"
 
 let save g file =
-  let oc = open_out file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string g))
+  if Filename.check_suffix file binary_suffix then Graph_binio.save g file
+  else begin
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc "p %d %d\n" (Graph.n g) (Graph.m g);
+        Graph.iter_edges g (fun e ->
+            Printf.fprintf oc "e %d %d %.12g\n" e.Graph.u e.Graph.v e.Graph.w))
+  end
 
-let load file =
-  let ic = open_in file in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      let bytes = really_input_string ic len in
-      of_string bytes)
+let load ?backend file =
+  if Filename.check_suffix file binary_suffix then Graph_binio.load ?backend file
+  else begin
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        (* Stream line-by-line: peak memory is the graph plus one line,
+           not the graph plus the whole file. *)
+        let graph = ref None in
+        let fail line_no msg =
+          failwith (Printf.sprintf "Graph_io: %s: line %d: %s" file line_no msg)
+        in
+        let line_no = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr line_no;
+             parse_line ?backend ~fail graph !line_no line
+           done
+         with End_of_file -> ());
+        match !graph with
+        | Some g -> g
+        | None -> failwith (Printf.sprintf "Graph_io: %s: missing p line" file))
+  end
 
 let to_dot ?highlight g =
   let buf = Buffer.create (128 + (Graph.m g * 32)) in

@@ -1,4 +1,4 @@
-(** Plain-text graph serialization.
+(** Plain-text graph serialization (with binary dispatch by extension).
 
     Format (one record per line, [#] starts a comment):
     {v
@@ -6,20 +6,35 @@
     e <u> <v> <w>
     v}
     The [p] line must come first; exactly [m] edge lines follow.  Weights
-    are optional on read (default [1.0]). *)
+    are optional on read (default [1.0]).
 
-(** [to_string g] serializes [g]. *)
+    Files named [*.ftsb] are the binary [ftspan.graph.v1] format:
+    {!save} and {!load} dispatch on the extension, delegating to
+    {!Graph_binio} (whose {!Graph_binio.Not_a_graph} /
+    {!Graph_binio.Corrupt} exceptions then replace the [Failure]s
+    documented below). *)
+
+(** The extension that selects the binary format, [".ftsb"]. *)
+val binary_suffix : string
+
+(** [to_string g] serializes [g] as text. *)
 val to_string : Graph.t -> string
 
-(** [of_string s] parses a graph.  Raises [Failure] with a line-numbered
-    message on malformed input. *)
-val of_string : string -> Graph.t
+(** [of_string s] parses a text graph.  Raises [Failure] with a
+    line-numbered message on malformed input.  [backend] selects the
+    adjacency storage (default {!Csr.default_backend}). *)
+val of_string : ?backend:Csr.backend -> string -> Graph.t
 
-(** [save g file] writes [to_string g] to [file]. *)
+(** [save g file] writes [g] to [file] — text, streamed edge-by-edge
+    (peak memory is one line, not the whole serialization), or binary
+    when [file] ends in {!binary_suffix}. *)
 val save : Graph.t -> string -> unit
 
-(** [load file] reads and parses [file]. *)
-val load : string -> Graph.t
+(** [load ?backend file] reads [file] — text, streamed line-by-line, or
+    binary when [file] ends in {!binary_suffix}.  Text-parse [Failure]
+    messages are prefixed with the file name
+    (["Graph_io: FILE: line N: ..."]). *)
+val load : ?backend:Csr.backend -> string -> Graph.t
 
 (** [to_dot ?highlight g] renders Graphviz source for [g] ([graph { ... }]
     with weights as labels).  Edges whose id is set in [highlight] are

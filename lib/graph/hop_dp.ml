@@ -21,10 +21,7 @@ let min_hop_path ?blocked_vertices ?blocked_edges g ~src ~dst ~budget ~max_hops 
     (* dist.(v): lightest weight reaching [v] within the current hop count;
        rebuilt layer by layer.  parent.(h) records the tree of layer h so a
        witness can be extracted once [dst] first becomes reachable. *)
-    let adj = Graph.adjacency g in
-    let off = adj.Csr.off and nbr = adj.Csr.nbr and eid = adj.Csr.eid in
-    let bhead = adj.Csr.buf_head and bnbr = adj.Csr.buf_nbr in
-    let beid = adj.Csr.buf_eid and bnext = adj.Csr.buf_next in
+    let scan = Csr.scanner (Graph.adjacency g) in
     let dist = Array.make n infinity in
     let next = Array.make n infinity in
     let parent_edge = Array.init (max_hops + 1) (fun _ -> [||]) in
@@ -55,14 +52,7 @@ let min_hop_path ?blocked_vertices ?blocked_edges g ~src ~dst ~budget ~max_hops 
               end
             end
           in
-          let j = ref bhead.(x) in
-          while !j >= 0 do
-            relax bnbr.(!j) beid.(!j);
-            j := bnext.(!j)
-          done;
-          for i = off.(x) to off.(x + 1) - 1 do
-            relax nbr.(i) eid.(i)
-          done
+          scan x relax
         end
       done;
       Array.blit next 0 dist 0 n;

@@ -783,6 +783,160 @@ let test_io_to_dot () =
      find 0)
 
 (* -------------------------------------------------------------------- *)
+(* Graph_binio + storage backends                                       *)
+
+let with_temp_file suffix fn =
+  let file = Filename.temp_file "ftspan_test" suffix in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () -> fn file)
+
+let sample_weighted () =
+  let r = rng () in
+  Generators.with_uniform_weights r
+    (Generators.connected_gnp r ~n:40 ~p:0.15)
+    ~lo:0.5 ~hi:3.
+
+let test_binio_round_trip () =
+  let check_graph g =
+    with_temp_file ".ftsb" @@ fun file ->
+    Graph_io.save g file;
+    let h = Graph_io.load file in
+    check Alcotest.string "canonical text identical" (Graph_io.to_string g)
+      (Graph_io.to_string h);
+    checkb "binary load lands on int32" true
+      (Graph.backend h = Csr.Int32_bigarray)
+  in
+  check_graph (sample_weighted ());
+  check_graph (Generators.grid ~rows:6 ~cols:7);
+  check_graph (Graph.create 3)
+
+let test_binio_text_binary_text () =
+  let g = sample_weighted () in
+  with_temp_file ".graph" @@ fun text_file ->
+  with_temp_file ".ftsb" @@ fun bin_file ->
+  Graph_io.save g text_file;
+  let gt = Graph_io.load text_file in
+  Graph_io.save gt bin_file;
+  let gb = Graph_io.load bin_file in
+  check Alcotest.string "text -> binary -> text bit-identical"
+    (Graph_io.to_string gt) (Graph_io.to_string gb)
+
+let test_binio_backend_choice () =
+  let g = Generators.cycle 9 in
+  with_temp_file ".ftsb" @@ fun file ->
+  Graph_io.save g file;
+  let gi = Graph_io.load ~backend:Csr.Int_array file in
+  checkb "requested int backend" true (Graph.backend gi = Csr.Int_array);
+  check Alcotest.string "same graph either way" (Graph_io.to_string g)
+    (Graph_io.to_string gi)
+
+let test_binio_not_a_graph () =
+  let expect_not_a_graph label file =
+    try
+      ignore (Graph_binio.load file);
+      Alcotest.fail (label ^ " should raise Not_a_graph")
+    with Graph_binio.Not_a_graph _ -> ()
+  in
+  with_temp_file ".ftsb" @@ fun file ->
+  let put s = Out_channel.with_open_bin file (fun oc -> output_string oc s) in
+  put "not a graph at all, just prose long enough to pass the size check";
+  expect_not_a_graph "garbage" file;
+  put "xy";
+  expect_not_a_graph "too short for the magic" file
+
+let test_binio_corrupt () =
+  let g = Generators.cycle 9 in
+  let bytes_of file = In_channel.with_open_bin file In_channel.input_all in
+  let expect_corrupt label s =
+    with_temp_file ".ftsb" @@ fun file ->
+    Out_channel.with_open_bin file (fun oc -> output_string oc s);
+    try
+      ignore (Graph_binio.load file);
+      Alcotest.fail (label ^ " should raise Corrupt")
+    with Graph_binio.Corrupt _ -> ()
+  in
+  with_temp_file ".ftsb" @@ fun file ->
+  Graph_binio.save g file;
+  let good = bytes_of file in
+  (* truncated header: magic intact, header cut short *)
+  expect_corrupt "truncated header" (String.sub good 0 20);
+  (* truncated body: full header, adjacency regions cut *)
+  expect_corrupt "truncated body" (String.sub good 0 (String.length good - 8));
+  expect_corrupt "trailing bytes" (good ^ "\000\000\000\000");
+  let patch pos value =
+    let b = Bytes.of_string good in
+    Bytes.set b pos value;
+    Bytes.to_string b
+  in
+  (* wrong version: u32 at offset 8 *)
+  expect_corrupt "wrong version" (patch 8 '\009');
+  (* oversize m: u64 at offset 24; 0xff in the high byte overflows int32 *)
+  expect_corrupt "oversize edge count" (patch 31 '\xff');
+  (* bad magic is the not-a-graph class, not corruption *)
+  with_temp_file ".ftsb" @@ fun bad ->
+  Out_channel.with_open_bin bad (fun oc -> output_string oc (patch 0 'X'));
+  (try
+     ignore (Graph_binio.load bad);
+     Alcotest.fail "bad magic should raise Not_a_graph"
+   with Graph_binio.Not_a_graph _ -> ())
+
+let test_binio_corrupt_adjacency () =
+  (* A structurally valid file whose adjacency does not pair up: patch
+     one neighbor entry of a valid dump.  The loader must reject it
+     through the Graph.of_adjacency validation, as Corrupt. *)
+  let g = Generators.cycle 9 in
+  with_temp_file ".ftsb" @@ fun file ->
+  Graph_binio.save g file;
+  let good = In_channel.with_open_bin file In_channel.input_all in
+  let b = Bytes.of_string good in
+  (* first nbr entry lives at offset 40 + 4*(n+1); cycle 9 -> n = 9 *)
+  Bytes.set_int32_le b (40 + (4 * 10)) 7l;
+  Out_channel.with_open_bin file (fun oc -> output_bytes oc b);
+  try
+    ignore (Graph_binio.load file);
+    Alcotest.fail "mismatched adjacency should raise Corrupt"
+  with Graph_binio.Corrupt _ -> ()
+
+let test_backend_convert_round_trip () =
+  let g = sample_weighted () in
+  let g32 = Graph.with_backend Csr.Int32_bigarray g in
+  let g_back = Graph.with_backend Csr.Int_array g32 in
+  checkb "backends as requested" true
+    (Graph.backend g = Csr.Int_array
+    && Graph.backend g32 = Csr.Int32_bigarray
+    && Graph.backend g_back = Csr.Int_array);
+  check Alcotest.string "convert round trip text-identical"
+    (Graph_io.to_string g) (Graph_io.to_string g_back);
+  check (Alcotest.array Alcotest.int) "bfs parents identical"
+    (Bfs.distances g 0) (Bfs.distances g32 0);
+  checkb "int32 adjacency is smaller" true
+    (Graph.resident_bytes g32 < Graph.resident_bytes g)
+
+let test_backend_mutation_after_load () =
+  (* The mmap is private (copy-on-write): growing a binary-loaded graph
+     must not disturb the loaded adjacency or the on-disk file. *)
+  let g = Generators.cycle 6 in
+  with_temp_file ".ftsb" @@ fun file ->
+  Graph_io.save g file;
+  let h = Graph_io.load file in
+  ignore (Graph.add_edge h 0 3 ~w:2.0);
+  checki "edge added" 7 (Graph.m h);
+  checkb "new edge visible" true (Graph.mem_edge h 0 3);
+  let again = Graph_io.load file in
+  checki "file unchanged" 6 (Graph.m again)
+
+let test_csr_limits () =
+  checkb "int32 half-edge limit" true
+    (Csr.max_half Csr.Int32_bigarray = Int32.to_int Int32.max_int);
+  checkb "int limit covers arrays" true
+    (Csr.max_half Csr.Int_array = Sys.max_array_length);
+  Alcotest.check_raises "int32 backend rejects oversize n"
+    (Invalid_argument
+       "Csr.create: vertex count exceeds the int32 backend's index range")
+    (fun () ->
+      ignore (Csr.create ~backend:Csr.Int32_bigarray (Int32.to_int Int32.max_int)))
+
+(* -------------------------------------------------------------------- *)
 (* Rng                                                                  *)
 
 let test_rng_determinism () =
@@ -967,6 +1121,21 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_io_rejects_garbage;
           Alcotest.test_case "file round trip" `Quick test_io_file_round_trip;
           Alcotest.test_case "to_dot" `Quick test_io_to_dot;
+        ] );
+      ( "graph_binio",
+        [
+          Alcotest.test_case "binary round trip" `Quick test_binio_round_trip;
+          Alcotest.test_case "text->binary->text" `Quick test_binio_text_binary_text;
+          Alcotest.test_case "backend choice" `Quick test_binio_backend_choice;
+          Alcotest.test_case "not a graph" `Quick test_binio_not_a_graph;
+          Alcotest.test_case "corrupt files" `Quick test_binio_corrupt;
+          Alcotest.test_case "corrupt adjacency" `Quick test_binio_corrupt_adjacency;
+        ] );
+      ( "backend",
+        [
+          Alcotest.test_case "convert round trip" `Quick test_backend_convert_round_trip;
+          Alcotest.test_case "mutate after load" `Quick test_backend_mutation_after_load;
+          Alcotest.test_case "index limits" `Quick test_csr_limits;
         ] );
       ( "rng",
         [

@@ -410,6 +410,41 @@ let prop_io_parser_total =
       | g -> Graph.n g >= 0
       | exception Failure _ -> true)
 
+let prop_int32_backend_bit_identical =
+  (* The storage seam must be invisible to every algorithm: repacking a
+     graph into the int32 Bigarray backend (and the instances the
+     generators produce directly on it) yields bit-identical BFS
+     parents, Dijkstra distances, and greedy spanner selections,
+     because both backends present half-edges in the same order. *)
+  QCheck.Test.make ~count:40 ~name:"backends: int32 repack is bit-identical"
+    arb_graph_desc (fun desc ->
+      let g = weighted_graph_of desc in
+      let g32 = Graph.with_backend Csr.Int32_bigarray g in
+      let bfs_same =
+        Bfs.distances g 0 = Bfs.distances g32 0
+        && Bfs.hop_bounded_path g ~src:0 ~dst:(Graph.n g - 1)
+             ~max_hops:(Graph.n g)
+           = Bfs.hop_bounded_path g32 ~src:0 ~dst:(Graph.n g - 1)
+               ~max_hops:(Graph.n g)
+      in
+      let dij_same = Dijkstra.distances g 0 = Dijkstra.distances g32 0 in
+      let sel mode gr = (Poly_greedy.build ~mode ~k:2 ~f:1 gr).Selection.selected in
+      let greedy_same =
+        sel Fault.VFT g = sel Fault.VFT g32 && sel Fault.EFT g = sel Fault.EFT g32
+      in
+      bfs_same && dij_same && greedy_same)
+
+let prop_binio_round_trip =
+  QCheck.Test.make ~count:25 ~name:"graph_binio: save/load is the identity"
+    arb_graph_desc (fun desc ->
+      let g = weighted_graph_of desc in
+      let file = Filename.temp_file "ftspan_prop" ".ftsb" in
+      Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+      Graph_io.save g file;
+      let h = Graph_io.load file in
+      Graph_io.to_string g = Graph_io.to_string h
+      && Graph.backend h = Csr.Int32_bigarray)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -432,6 +467,8 @@ let suite =
       prop_verify_full_graph_is_1_spanner;
       prop_girth_consistency;
       prop_io_round_trip;
+      prop_int32_backend_bit_identical;
+      prop_binio_round_trip;
       prop_local_spanner_valid;
       prop_congest_bs_valid;
       prop_oracle_stretch;

@@ -12,10 +12,10 @@ let stretch k = float_of_int ((2 * k) - 1)
 
 let verify_sampled ?(trials = 12) rng sel ~mode ~k ~f =
   let ok1 =
-    Verify.ok (Verify.check_adversarial rng sel ~mode ~stretch:(stretch k) ~f ~trials)
+    Verify.ok (Verify.adversarial ~cfg:(Verify.config ~rng ~trials ()) sel ~mode ~stretch:(stretch k) ~f)
   in
   let ok2 =
-    Verify.ok (Verify.check_random rng sel ~mode ~stretch:(stretch k) ~f ~trials)
+    Verify.ok (Verify.random ~cfg:(Verify.config ~rng ~trials ()) sel ~mode ~stretch:(stretch k) ~f)
   in
   ok1 && ok2
 
@@ -545,15 +545,21 @@ let e13 () =
     (Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:2 g).Selection.size
   in
   let stream label order_edges =
-    let inc = Incremental.create ~mode:Fault.VFT ~k:2 ~f:2 ~n:200 in
+    let d =
+      Dynamic.create
+        ~opts:(Dynamic.opts ~mode:Fault.VFT ~k:2 ~f:2 ())
+        (Graph.create 200)
+    in
     let marks = ref [] in
     Array.iteri
       (fun i e ->
-        ignore (Incremental.insert inc e.Graph.u e.Graph.v ~w:e.Graph.w);
-        if (i + 1) mod (m / 4) = 0 then marks := Incremental.size inc :: !marks)
+        ignore
+          (Dynamic.apply d
+             [ Dynamic.Insert { u = e.Graph.u; v = e.Graph.v; w = e.Graph.w } ]);
+        if (i + 1) mod (m / 4) = 0 then marks := Dynamic.size d :: !marks)
       order_edges;
     let marks = List.rev !marks in
-    let final = Incremental.size inc in
+    let final = Dynamic.size d in
     row "  %-18s %8d %8d %8d %8d %10.2f" label (List.nth marks 0)
       (List.nth marks 1) (List.nth marks 2) final
       (float_of_int final /. float_of_int offline)
@@ -745,8 +751,8 @@ let e17 () =
           let sel = Dk11.build r ~mode:Fault.VFT ~k:2 ~f:2 ~c g in
           if
             Verify.ok
-              (Verify.check_adversarial r sel ~mode:Fault.VFT ~stretch:3.0 ~f:2
-                 ~trials:20)
+              (Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:20 ()) sel ~mode:Fault.VFT ~stretch:3.0
+                 ~f:2)
           then incr passes)
         seeds;
       row "  %6.2f %8d %10d/30 %14s" c
@@ -779,8 +785,8 @@ let e17 () =
       let res = Congest_ft.build r ~c:0.5 ~mode:Fault.VFT ~k:2 ~f:2 g in
       if
         Verify.ok
-          (Verify.check_adversarial r res.Congest_ft.selection ~mode:Fault.VFT
-             ~stretch:3.0 ~f:2 ~trials:15)
+          (Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:15 ()) res.Congest_ft.selection ~mode:Fault.VFT
+             ~stretch:3.0 ~f:2)
       then incr passes)
     seeds;
   row "  pass rate %d/30 at c = 0.5" !passes
@@ -991,6 +997,86 @@ let bfs_hotpath_int32 () =
   row "  distance checksums %d vs %d: %s" sum_int sum_i32
     (verdict (sum_int = sum_i32 && Bfs.distances g 0 = Bfs.distances g32 0))
 
+(* The dynamic-service gate of the service PR: update throughput on a
+   sparse grid, and the repair-locality claim — after a deletion the
+   repair walks the (2k-1)-hop neighborhood of the cut in the old
+   spanner, so on a grid the touched-vertex count is a small constant
+   region, not O(n).  The dynamic.* counters land in the checked-in
+   baseline, pinning both the decision stream and the repair extent. *)
+let dynamic_updates () =
+  banner "dynamic-updates - arbitrary-order updates on a 30x30 grid (n=900)";
+  let g = Generators.grid ~rows:30 ~cols:30 in
+  let n = Graph.n g and m = Graph.m g in
+  let d =
+    Dynamic.create
+      ~opts:(Dynamic.opts ~mode:Fault.VFT ~k:2 ~f:1 ())
+      (Graph.create n)
+  in
+  let (), dt =
+    time (fun () ->
+        Graph.iter_edges g (fun e ->
+            ignore
+              (Dynamic.apply d
+                 [ Dynamic.Insert { u = e.Graph.u; v = e.Graph.v; w = e.Graph.w } ])))
+  in
+  row "  %d inserts in %.3f s (%.0f inserts/s), spanner %d/%d" m dt
+    (float_of_int m /. dt) (Dynamic.size d) m;
+  let sel = Dynamic.snapshot d in
+  let doomed = ref [] in
+  List.iteri
+    (fun i id ->
+      if i mod 97 = 0 then
+        doomed := Graph.endpoints sel.Selection.source id :: !doomed)
+    (Selection.ids sel);
+  let worst = ref 0 and total = ref 0 and dels = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      let s = Dynamic.apply d [ Dynamic.Delete_edge { u; v } ] in
+      incr dels;
+      total := !total + s.Dynamic.touched_vertices;
+      if s.Dynamic.touched_vertices > !worst then
+        worst := s.Dynamic.touched_vertices)
+    !doomed;
+  row "  %d deletions: repair touched %d vertices total, worst region %d" !dels
+    !total !worst;
+  row "  locality: worst repair region %.1f%% of n=%d, %s (< 25%% required)"
+    (100. *. float_of_int !worst /. float_of_int n)
+    n
+    (verdict (!worst < n / 4));
+  let rng = Rng.create ~seed in
+  let ok =
+    verify_sampled ~trials:2 rng (Dynamic.snapshot d) ~mode:Fault.VFT ~k:2 ~f:1
+  in
+  row "  post-repair selection verifies sampled: %s" (verdict ok)
+
+(* The query-plane half of the same gate: one large fault-masked batch;
+   the dynamic.query_latency log-histogram feeds the report's quantile
+   block (p99 is the headline number), and dynamic.queries pins the
+   batch shape. *)
+let dynamic_query () =
+  banner "dynamic-query - fault-masked query batches on G(300, 0.03)";
+  let rng = Rng.create ~seed in
+  let g = Generators.connected_gnp rng ~n:300 ~p:0.03 in
+  let d = Dynamic.create ~opts:(Dynamic.opts ~mode:Fault.VFT ~k:2 ~f:1 ()) g in
+  let pairs =
+    Array.init 2000 (fun _ -> (Rng.int rng 300, Rng.int rng 300))
+  in
+  let faults = Fault.of_vertices [ 7; 123 ] in
+  let res, dt = time (fun () -> Dynamic.query_batch d ~faults pairs) in
+  let reachable =
+    Array.fold_left
+      (fun acc r -> if r.Dynamic.distance < infinity then acc + 1 else acc)
+      0 res
+  in
+  row "  %d queries in %.3f s (%.0f queries/s), %d reachable under 2 faults"
+    (Array.length pairs) dt
+    (float_of_int (Array.length pairs) /. dt)
+    reachable;
+  let h = Obs.histogram_log "dynamic.query_latency" in
+  row "  query latency p50 %.1f us, p99 %.1f us"
+    (1e6 *. Obs.Histogram.quantile h 0.5)
+    (1e6 *. Obs.Histogram.quantile h 0.99)
+
 let smoke =
   [
     ("smoke-lbc", smoke_lbc);
@@ -1001,6 +1087,8 @@ let smoke =
     ("congest-hotpath", congest_hotpath);
     ("io-load", io_load);
     ("bfs-hotpath-int32", bfs_hotpath_int32);
+    ("dynamic-updates", dynamic_updates);
+    ("dynamic-query", dynamic_query);
   ]
 
 let all =

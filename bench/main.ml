@@ -75,21 +75,22 @@ let parse_args args =
   in
   (* Worker-domain count for the parallel experiments (greedy-parallel and
      the E12 sweep read it back via [Exec.default_jobs]).  The default, 1,
-     keeps every job sequential so checked-in counters stay exact. *)
+     keeps every job sequential so checked-in counters stay exact.  The
+     flag grammar — parsing and error wording — is Cli_flags, shared with
+     the ftspan subcommands. *)
   let set_jobs value =
-    match int_of_string_opt value with
-    | Some n when n >= 1 -> Exec.set_default_jobs n
-    | Some n -> bad_usage "--jobs must be >= 1 (got %d)" n
-    | None -> bad_usage "--jobs requires an integer argument (got %S)" value
+    match Cli_flags.parse_jobs value with
+    | Ok n -> Exec.set_default_jobs n
+    | Error msg -> bad_usage "%s" msg
   in
   (* Storage backend for every graph the jobs build ([Graph.create]
      reads it back via [Csr.default_backend]).  Counters are
      bit-identical either way; only wall time and resident bytes move,
      so the checked-in baseline holds for both. *)
-  let set_backend = function
-    | "int" -> Csr.set_default_backend Csr.Int_array
-    | "int32" -> Csr.set_default_backend Csr.Int32_bigarray
-    | other -> bad_usage "--backend must be int or int32 (got %S)" other
+  let set_backend value =
+    match Cli_flags.parse_backend value with
+    | Ok b -> Csr.set_default_backend b
+    | Error msg -> bad_usage "%s" msg
   in
   let opt_with_value name set = function
     | value :: rest ->

@@ -74,8 +74,9 @@ let verify_test =
     (Staged.stage (fun () ->
          let r = Rng.create ~seed in
          ignore
-           (Verify.check_adversarial r (Lazy.force sel) ~mode:Fault.VFT ~stretch:3.
-              ~f:2 ~trials:1)))
+           (Verify.adversarial
+              ~cfg:(Verify.config ~rng:r ~trials:1 ())
+              (Lazy.force sel) ~mode:Fault.VFT ~stretch:3. ~f:2)))
 
 let thorup_zwick_test =
   Test.make ~name:"e8: thorup-zwick k=2 (n=300)"

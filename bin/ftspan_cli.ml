@@ -5,6 +5,7 @@
      info       print statistics of a graph file
      build      construct a fault-tolerant spanner and report its summary
      verify     check a spanner selection against sampled/exhaustive faults
+     dynamic    replay an update/query script against the dynamic service
      local      run the LOCAL-model construction on the simulator
      congest    run the CONGEST-model construction on the simulator
      trace      offline analysis of recorded event traces *)
@@ -36,19 +37,20 @@ let graph_arg =
   let doc = "Input graph file (see ftspan generate for the format)." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
 
-let backend_arg =
-  let doc =
-    "Adjacency storage backend: $(b,int) (native word arrays) or \
-     $(b,int32) (compact int32 Bigarrays — half the resident bytes, and \
-     the layout binary $(b,.ftsb) graphs map into near-zero-copy).  \
-     Defaults to int for text graphs and int32 for $(b,.ftsb) files.  \
-     Selections and counters are bit-identical across backends; only \
-     wall time and resident memory move."
-  in
-  let backend_conv =
-    Arg.enum [ ("int", Csr.Int_array); ("int32", Csr.Int32_bigarray) ]
-  in
-  Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~docv:"B" ~doc)
+(* The execution/observability flag grammar (--jobs, --backend, --chaos,
+   --trace, --metrics-stream, --metrics) is shared with bench/main.exe
+   through Cli_flags, so every front end parses and errors identically. *)
+let backend_arg = Cli_flags.backend_arg
+let jobs_arg = Cli_flags.jobs_arg
+let resolve_jobs = Cli_flags.resolve_jobs
+let with_jobs = Cli_flags.with_jobs
+let metrics_arg = Cli_flags.metrics_arg
+let with_metrics = Cli_flags.with_metrics
+let trace_arg = Cli_flags.trace_arg
+let with_trace = Cli_flags.with_trace
+let stream_arg = Cli_flags.stream_arg
+let with_stream = Cli_flags.with_stream
+let chaos_arg = Cli_flags.chaos_arg
 
 (* Binary-format failures carry their own exit-code contract (exit 2
    when the file is not an ftspan graph at all, exit 1 when it is one
@@ -63,158 +65,6 @@ let load_graph ?backend file =
   | Graph_binio.Corrupt msg ->
       Printf.eprintf "ftspan: %s\n" msg;
       exit 1
-
-let jobs_arg =
-  let doc =
-    "Worker domains for the parallel sections (the batched greedy's \
-     decision phase under $(b,build), the fault batteries under \
-     $(b,verify)).  Defaults to 1 — fully sequential, so existing \
-     scripted runs are byte-identical — or to $(b,FTSPAN_JOBS) when that \
-     is set.  Results are deterministic: any jobs count produces the \
-     same output as 1."
-  in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-let resolve_jobs = function
-  | Some n when n >= 1 -> Ok n
-  | Some n -> Error (`Msg (Printf.sprintf "--jobs must be >= 1 (got %d)" n))
-  | None -> Ok (Exec.default_jobs ())
-
-(* Run [f] with a pool of [jobs] workers ([None] when sequential), shut
-   down on every exit path. *)
-let with_jobs jobs f =
-  if jobs = 1 then f None
-  else Exec.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
-
-let metrics_arg =
-  let doc =
-    "Report collected telemetry (counters, timers, histograms, spans) \
-     after the command: $(b,pretty) for a human-readable listing, \
-     $(b,json) for an ftspan.metrics.v1 document (the schema bench/main.exe \
-     --json writes).  $(b,--metrics) alone means $(b,pretty)."
-  in
-  let fmt = Arg.enum [ ("pretty", `Pretty); ("json", `Json) ] in
-  Arg.(value & opt ~vopt:(Some `Pretty) (some fmt) None & info [ "metrics" ] ~docv:"FMT" ~doc)
-
-(* Wrap a subcommand body: scope the obs registry to it, time it, and
-   render the snapshot in the requested sink. *)
-let with_metrics metrics ~id f =
-  match metrics with
-  | None -> f ()
-  | Some fmt ->
-      Obs.reset ();
-      let t0 = Unix.gettimeofday () in
-      let result = f () in
-      let wall = Unix.gettimeofday () -. t0 in
-      let entry = { Obs_sink.id; wall_s = wall; snap = Obs.snapshot () } in
-      (match fmt with
-      | `Pretty ->
-          Printf.printf "-- metrics (%s, %.3f s) --\n" id wall;
-          Format.printf "%a@." Obs_sink.pp entry.Obs_sink.snap
-      | `Json ->
-          print_endline
-            (Obs_json.to_string ~indent:true (Obs_sink.json_of_report [ entry ])));
-      result
-
-let trace_arg =
-  let doc =
-    "Record a structured event trace (per-edge LBC verdicts, greedy \
-     keep/reject decisions, per-round CONGEST traffic) and write it to \
-     $(docv) when the command finishes.  A $(b,,chrome) suffix selects \
-     the Chrome trace-event format (open the file in chrome://tracing or \
-     https://ui.perfetto.dev); the default is the native ftspan.trace.v1 \
-     JSON.  A $(b,,sample=)S suffix (a rate in (0,1] or $(b,1/)N) head-samples \
-     the bulk event stream — phase markers and fault events are always \
-     kept — and $(b,,seed=)N picks the private sampling-RNG seed, so the \
-     same seed replays the same kept set."
-  in
-  let spec_conv =
-    Arg.conv
-      ( (fun s ->
-          match Obs_trace.parse_spec s with
-          | Ok spec -> Ok spec
-          | Error msg -> Error (`Msg msg)),
-        Obs_trace.pp_spec )
-  in
-  Arg.(
-    value
-    & opt (some spec_conv) None
-    & info [ "trace" ] ~docv:"FILE[,chrome][,sample=S][,seed=N]" ~doc)
-
-(* Wrap a subcommand body in event collection; the file is written even
-   when the body raises, so aborted runs keep their partial trace. *)
-let with_trace trace f =
-  match trace with
-  | None -> f ()
-  | Some spec ->
-      Obs_trace.start ?sample:spec.Obs_trace.sample
-        ~sample_seed:spec.Obs_trace.sample_seed ();
-      Fun.protect
-        ~finally:(fun () ->
-          Obs_trace.stop ();
-          Obs_trace.write ~file:spec.Obs_trace.file spec.Obs_trace.format;
-          Printf.printf "trace written to %s (%d events, %d sampled, %d dropped)\n"
-            spec.Obs_trace.file (Obs_trace.seen ()) (Obs_trace.sampled ())
-            (Obs_trace.dropped ()))
-        f
-
-let stream_arg =
-  let doc =
-    "Stream run-time heartbeat snapshots to $(docv) while the command \
-     runs: one ftspan.heartbeat.v1 JSON line per beat, carrying counter \
-     deltas since the previous beat, latency quantiles (p50/p90/p99/p999 \
-     of every log-linear histogram), GC numbers, and pool utilization.  \
-     Beats default to one per second; a $(b,,)SECONDS suffix changes the \
-     interval and $(b,,ops=)K beats every K logical operations instead."
-  in
-  let spec_conv =
-    Arg.conv
-      ( (fun s ->
-          match Obs_heartbeat.parse_spec s with
-          | Ok spec -> Ok spec
-          | Error msg -> Error (`Msg msg)),
-        Obs_heartbeat.pp_spec )
-  in
-  Arg.(
-    value
-    & opt (some spec_conv) None
-    & info [ "metrics-stream" ] ~docv:"FILE[,SECONDS][,ops=K]" ~doc)
-
-(* Wrap a subcommand body in the heartbeat reporter; the final beat and
-   the close happen on every exit path. *)
-let with_stream stream f =
-  match stream with
-  | None -> f ()
-  | Some spec ->
-      Obs_heartbeat.start spec;
-      Fun.protect
-        ~finally:(fun () ->
-          Obs_heartbeat.stop ();
-          Printf.printf "metrics stream written to %s (%d beats)\n"
-            spec.Obs_heartbeat.file
-            (Obs_heartbeat.beats ()))
-        f
-
-let chaos_arg =
-  let doc =
-    "Inject network faults into the simulator and mask them with the \
-     reliable-delivery protocol.  $(docv) is a comma-separated list of \
-     KEY=VALUE pairs: $(b,drop)=P, $(b,dup)=P, $(b,reorder)=R (max round \
-     lag), $(b,spike)=P, $(b,spikex)=F (delay multiplier), $(b,seed)=N \
-     (fault-stream seed), $(b,crash)=V@T, $(b,recover)=V@T.  The fault \
-     stream is private to the plan, so the spanner selection matches the \
-     chaos-free run; retransmissions show up in the $(b,net.retries) \
-     counter under $(b,--metrics)."
-  in
-  let plan_conv =
-    Arg.conv
-      ( (fun s ->
-          match Chaos.parse_spec s with
-          | Ok plan -> Ok plan
-          | Error msg -> Error (`Msg msg)),
-        Chaos.pp_plan )
-  in
-  Arg.(value & opt (some plan_conv) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
 
 (* --------------------------- generate -------------------------------- *)
 
@@ -459,13 +309,16 @@ let verify_cmd =
         | Error e -> Error e
         | Ok sel ->
             with_jobs jobs @@ fun pool ->
+            (* One rng threads through adversarial -> random -> profile, so
+               the whole chain's figures are a function of [seed]. *)
             let rng = Rng.create ~seed in
+            let cfg = Verify.config ?pool ~rng ~trials () in
             let stretch = float_of_int ((2 * k) - 1) in
             let report =
-              if exhaustive then Verify.check_exhaustive sel ~mode ~stretch ~f
+              if exhaustive then Verify.exhaustive ~cfg sel ~mode ~stretch ~f
               else begin
-                let a = Verify.check_adversarial ?pool rng sel ~mode ~stretch ~f ~trials in
-                if Verify.ok a then Verify.check_random ?pool rng sel ~mode ~stretch ~f ~trials
+                let a = Verify.adversarial ~cfg sel ~mode ~stretch ~f in
+                if Verify.ok a then Verify.random ~cfg sel ~mode ~stretch ~f
                 else a
               end
             in
@@ -474,7 +327,11 @@ let verify_cmd =
             | None ->
                 Printf.printf "OK: no stretch violation found (stretch %.0f, f=%d)\n"
                   stretch f;
-                let profile = Verify.stretch_profile ?pool rng sel ~mode ~f ~trials:(min trials 50) in
+                let profile =
+                  Verify.profile
+                    ~cfg:(Verify.config ?pool ~rng ~trials:(min trials 50) ())
+                    sel ~mode ~f
+                in
                 Printf.printf "%s\n" (Format.asprintf "%a" Verify.pp_profile profile);
                 Ok ()
             | Some v ->
@@ -647,6 +504,265 @@ let prune_cmd =
        ~doc:"Minimalize a spanner selection by sound exact pruning (small inputs).")
     term
 
+(* ----------------------------- dynamic --------------------------------- *)
+
+let ops_file_arg =
+  let doc =
+    "Operation script: one directive per line, $(b,#) comments.  \
+     $(b,n) N declares the vertex count (first line, scripts without \
+     $(b,--graph)); $(b,add) U V [W] inserts an edge; $(b,del) U V \
+     deletes one; $(b,delv) X retires a vertex; $(b,flush) forces the \
+     pending update batch to apply; $(b,faults) ... sets the fault set \
+     for subsequent queries (vertex ids under $(b,--mode) vertex, U-V \
+     pairs under edge); $(b,query) U V asks for the fault-masked spanner \
+     distance — consecutive queries run as one concurrent batch."
+  in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"OPS" ~doc)
+
+let init_graph_arg =
+  let doc = "Seed the handle with this graph before the script runs." in
+  Arg.(value & opt (some file) None & info [ "graph" ] ~docv:"GRAPH" ~doc)
+
+let out_graph_arg =
+  let doc = "Write the final live graph (ftspan text format) to this file." in
+  Arg.(value & opt (some string) None & info [ "out-graph" ] ~docv:"FILE" ~doc)
+
+type dyn_item =
+  | Dyn_n of int
+  | Dyn_op of Dynamic.op
+  | Dyn_flush
+  | Dyn_faults_v of int list
+  | Dyn_faults_e of (int * int) list
+  | Dyn_query of int * int
+
+(* Script errors are usage-class failures: report the offending line on
+   stderr and exit 2, like the other spec parsers. *)
+let parse_ops_file ~mode file =
+  let fail lineno fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "ftspan dynamic: %s:%d: %s\n" file lineno msg;
+        exit 2)
+      fmt
+  in
+  let int_tok lineno what s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail lineno "%s must be an integer (got %S)" what s
+  in
+  let pair_tok lineno s =
+    match String.index_opt s '-' with
+    | Some i when i > 0 && i < String.length s - 1 ->
+        ( int_tok lineno "fault edge endpoint" (String.sub s 0 i),
+          int_tok lineno "fault edge endpoint"
+            (String.sub s (i + 1) (String.length s - i - 1)) )
+    | _ -> fail lineno "edge faults are U-V pairs (got %S)" s
+  in
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let items = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let line =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           match
+             String.split_on_char ' ' (String.trim line)
+             |> List.filter (fun s -> s <> "")
+           with
+           | [] -> ()
+           | [ "n"; n ] -> items := Dyn_n (int_tok !lineno "n" n) :: !items
+           | "add" :: u :: v :: rest ->
+               let w =
+                 match rest with
+                 | [] -> 1.0
+                 | [ w ] -> (
+                     match float_of_string_opt w with
+                     | Some w -> w
+                     | None -> fail !lineno "weight must be a number (got %S)" w)
+                 | _ -> fail !lineno "add takes U V [W]"
+               in
+               items :=
+                 Dyn_op
+                   (Dynamic.Insert
+                      {
+                        u = int_tok !lineno "u" u;
+                        v = int_tok !lineno "v" v;
+                        w;
+                      })
+                 :: !items
+           | [ "del"; u; v ] ->
+               items :=
+                 Dyn_op
+                   (Dynamic.Delete_edge
+                      { u = int_tok !lineno "u" u; v = int_tok !lineno "v" v })
+                 :: !items
+           | [ "delv"; x ] ->
+               items :=
+                 Dyn_op (Dynamic.Delete_vertex (int_tok !lineno "vertex" x))
+                 :: !items
+           | [ "flush" ] -> items := Dyn_flush :: !items
+           | "faults" :: members -> (
+               match mode with
+               | Fault.VFT ->
+                   items :=
+                     Dyn_faults_v
+                       (List.map (int_tok !lineno "fault vertex") members)
+                     :: !items
+               | Fault.EFT ->
+                   items :=
+                     Dyn_faults_e (List.map (pair_tok !lineno) members) :: !items)
+           | [ "query"; u; v ] ->
+               items :=
+                 Dyn_query (int_tok !lineno "u" u, int_tok !lineno "v" v)
+                 :: !items
+           | tok :: _ -> fail !lineno "unknown directive %S" tok
+         done
+       with End_of_file -> ());
+      List.rev !items)
+
+let dynamic_cmd =
+  let run k f mode jobs backend metrics trace stream ops_file graph_file out
+      out_graph =
+    match resolve_jobs jobs with
+    | Error _ as e -> e
+    | Ok jobs -> (
+        let items = parse_ops_file ~mode ops_file in
+        let seed_graph =
+          match (graph_file, items) with
+          | Some _, Dyn_n _ :: _ ->
+              Printf.eprintf
+                "ftspan dynamic: %s declares n but --graph was given\n" ops_file;
+              exit 2
+          | Some file, _ -> Result.map (fun g -> (g, items)) (load_graph ?backend file)
+          | None, Dyn_n n :: rest -> Ok (Graph.create ?backend n, rest)
+          | None, _ ->
+              Printf.eprintf
+                "ftspan dynamic: no initial graph: pass --graph or start %s \
+                 with an 'n N' line\n"
+                ops_file;
+              exit 2
+        in
+        match seed_graph with
+        | Error e -> Error e
+        | Ok (g, items) ->
+            with_metrics metrics ~id:"dynamic" @@ fun () ->
+            with_stream stream @@ fun () ->
+            with_trace trace @@ fun () ->
+            with_jobs jobs @@ fun pool ->
+            let d = Dynamic.create ~opts:(Dynamic.opts ~mode ~k ~f ?pool ()) g in
+            Printf.printf "seeded: n=%d, %d live edges, spanner %d\n"
+              (Dynamic.n d) (Dynamic.live_edges d) (Dynamic.size d);
+            let pending = ref [] and pending_q = ref [] in
+            let cur_fault = ref (Fault.empty mode) in
+            let flush_ops () =
+              match List.rev !pending with
+              | [] -> ()
+              | ops ->
+                  pending := [];
+                  let stats = Dynamic.apply d ops in
+                  Printf.printf "apply: %s\n"
+                    (Format.asprintf "%a" Dynamic.pp_stats stats)
+            in
+            let flush_queries () =
+              match List.rev !pending_q with
+              | [] -> ()
+              | pairs ->
+                  pending_q := [];
+                  let results =
+                    Dynamic.query_batch d ~faults:!cur_fault
+                      (Array.of_list pairs)
+                  in
+                  Array.iter
+                    (fun r ->
+                      Printf.printf "%s\n"
+                        (Format.asprintf "%a" Dynamic.pp_query_result r))
+                    results
+            in
+            (* Fault edge ids resolve against the post-update snapshot, so
+               the fault set always names live edges. *)
+            let set_faults fault_of =
+              flush_ops ();
+              flush_queries ();
+              cur_fault := fault_of ()
+            in
+            (try
+               List.iter
+                 (function
+                   | Dyn_n _ ->
+                       Printf.eprintf
+                         "ftspan dynamic: 'n' is only valid as the first \
+                          directive\n";
+                       exit 2
+                   | Dyn_op op ->
+                       flush_queries ();
+                       pending := op :: !pending
+                   | Dyn_flush -> flush_ops ()
+                   | Dyn_faults_v vs ->
+                       set_faults (fun () -> Fault.of_vertices vs)
+                   | Dyn_faults_e pairs ->
+                       set_faults (fun () ->
+                           let src = (Dynamic.snapshot d).Selection.source in
+                           Fault.of_edges
+                             (List.map
+                                (fun (u, v) ->
+                                  match Graph.find_edge src u v with
+                                  | Some id -> id
+                                  | None ->
+                                      Printf.eprintf
+                                        "ftspan dynamic: faults: edge %d-%d \
+                                         is not live\n"
+                                        u v;
+                                      exit 2)
+                                pairs))
+                   | Dyn_query (u, v) ->
+                       flush_ops ();
+                       pending_q := (u, v) :: !pending_q)
+                 items;
+               flush_ops ();
+               flush_queries ()
+             with Invalid_argument msg ->
+               Printf.eprintf "ftspan dynamic: %s\n" msg;
+               exit 1);
+            let sel = Dynamic.snapshot d in
+            Printf.printf "final: n=%d, %d live edges, spanner %d, epoch %d%s\n"
+              (Dynamic.n d) (Dynamic.live_edges d) (Dynamic.size d)
+              (Dynamic.epoch d)
+              (if Dynamic.weight_monotone d then "" else " (weights out of order)");
+            Option.iter
+              (fun file ->
+                save_selection sel file;
+                Printf.printf "selection written to %s\n" file)
+              out;
+            Option.iter
+              (fun file ->
+                Graph_io.save sel.Selection.source file;
+                Printf.printf "final graph written to %s\n" file)
+              out_graph;
+            Ok ())
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ k_arg $ f_arg $ mode_arg $ jobs_arg $ backend_arg
+       $ metrics_arg $ trace_arg $ stream_arg $ ops_file_arg $ init_graph_arg
+       $ spanner_out_arg $ out_graph_arg))
+  in
+  Cmd.v
+    (Cmd.info "dynamic"
+       ~doc:
+         "Maintain a fault-tolerant spanner under arbitrary-order updates \
+          (insertions, deletions with local repair) and answer batched \
+          fault-masked distance queries.")
+    term
+
 (* ------------------------------ trace ---------------------------------- *)
 
 let trace_file_arg =
@@ -716,6 +832,6 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            generate_cmd; info_cmd; build_cmd; verify_cmd; local_cmd;
-            congest_cmd; oracle_cmd; prune_cmd; trace_cmd;
+            generate_cmd; info_cmd; build_cmd; verify_cmd; dynamic_cmd;
+            local_cmd; congest_cmd; oracle_cmd; prune_cmd; trace_cmd;
           ]))

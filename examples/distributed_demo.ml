@@ -53,9 +53,11 @@ let () =
   List.iter
     (fun (name, sel) ->
       let report =
-        Verify.check_adversarial rng sel ~mode:Fault.VFT
+        Verify.adversarial
+          ~cfg:(Verify.config ~rng ~trials:200 ())
+          sel ~mode:Fault.VFT
           ~stretch:(float_of_int ((2 * k) - 1))
-          ~f ~trials:200
+          ~f
       in
       Printf.printf "  %-10s %s\n" name
         (if Verify.ok report then "ok" else "VIOLATED"))

@@ -48,7 +48,7 @@ let () =
           let good = ref 0 in
           Array.iter
             (fun s -> if s <= stretch +. 1e-9 then incr good)
-            (Verify.max_stretch_many ~pool sel faults);
+            (Verify.stretch_many ~cfg:(Verify.config ~pool ()) sel faults);
           Printf.printf "   %7.0f%%" (100. *. float_of_int !good /. 150.))
         scenarios;
       print_newline ())

@@ -27,7 +27,9 @@ let () =
   (* 3. Knock out up to f vertices, adversarially, and check the stretch. *)
   let stretch = float_of_int ((2 * k) - 1) in
   let report =
-    Verify.check_adversarial rng spanner ~mode:Fault.VFT ~stretch ~f ~trials:500
+    Verify.adversarial
+      ~cfg:(Verify.config ~rng ~trials:500 ())
+      spanner ~mode:Fault.VFT ~stretch ~f
   in
   (match report.Verify.violation with
   | None ->

@@ -90,11 +90,3 @@ let build ?order ?pool ~mode ~k ~f ~batch g =
                 verdicts l r)
   in
   build_impl ?order ~decide ~mode ~k ~f ~batch g
-
-let build_parallel ?order ~mode ~k ~f ~batch ~domains g =
-  if domains < 1 then
-    invalid_arg "Batch_greedy.build_parallel: domains must be >= 1";
-  if domains = 1 then build ?order ~mode ~k ~f ~batch g
-  else
-    Exec.Pool.with_pool ~domains (fun pool ->
-        build ?order ~pool ~mode ~k ~f ~batch g)

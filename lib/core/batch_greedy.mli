@@ -46,23 +46,8 @@ val build :
   Graph.t ->
   result
 
-(** [build_parallel ?order ~mode ~k ~f ~batch ~domains g] is
-    [build ~pool ~batch] on a throwaway [domains]-worker pool (spawned
-    and joined inside the call).  Requires [domains >= 1].
-
-    @deprecated Create a {!Exec.Pool.t} once and pass it to {!build}
-    instead — a persistent pool amortizes domain startup across batches
-    and builds, which is the entire point of the executor.  This wrapper
-    keeps the historical per-call-spawn signature compiling for
-    out-of-tree callers and will be removed in a future release. *)
-val build_parallel :
-  ?order:Poly_greedy.order ->
-  mode:Fault.mode ->
-  k:int ->
-  f:int ->
-  batch:int ->
-  domains:int ->
-  Graph.t ->
-  result
-[@@ocaml.deprecated
-  "Use Batch_greedy.build ?pool with a persistent Exec.Pool.t instead."]
+(** The historical [build_parallel ~domains] wrapper (deprecated since
+    the executor landed) is gone: create an {!Exec.Pool.t} once —
+    [Exec.Pool.with_pool ~domains] for a scoped one — and pass it to
+    {!build}, or go through {!Spanner.options}[ ?pool ?batch] at the
+    facade level. *)

@@ -1,0 +1,561 @@
+type op =
+  | Insert of { u : int; v : int; w : float }
+  | Delete_edge of { u : int; v : int }
+  | Delete_vertex of int
+
+type opts = {
+  mode : Fault.mode;
+  k : int;
+  f : int;
+  pool : Exec.Pool.t option;
+  shed : bool;
+}
+
+let default_opts = { mode = Fault.VFT; k = 2; f = 1; pool = None; shed = true }
+
+let opts ?(mode = default_opts.mode) ?(k = default_opts.k)
+    ?(f = default_opts.f) ?pool ?(shed = default_opts.shed) () =
+  if k < 1 then invalid_arg "Dynamic.opts: k must be >= 1";
+  if f < 0 then invalid_arg "Dynamic.opts: f must be >= 0";
+  { mode; k; f; pool; shed }
+
+(* Live-edge store.  [Graph.t] is insert-only, so the handle owns the
+   authoritative edge records and materializes graphs from them: the
+   spanner graph eagerly (it is what LBC decides against) and the full
+   live graph lazily per epoch (the query snapshot). *)
+type estate = {
+  eu : int;
+  ev : int;
+  ew : float;
+  mutable alive : bool;
+  mutable kept : bool;
+}
+
+type t = {
+  o : opts;
+  nv : int;
+  backend : Csr.backend;
+  mutable edges : estate array;  (* insertion order; grows, never shrinks *)
+  mutable n_edges : int;
+  by_pair : (int * int, int) Hashtbl.t;  (* live (u<v) pair -> edge index *)
+  adj : int list array;  (* every edge index ever incident, newest first *)
+  retired : bool array;  (* vertices removed by Delete_vertex *)
+  mutable live : int;  (* live edge count *)
+  mutable kept_n : int;  (* spanner edge count *)
+  mutable spanner : Graph.t;  (* graph of the kept live edges *)
+  mutable spanner_dirty : bool;  (* deletions invalidate [spanner] *)
+  mutable cur_epoch : int;
+  mutable snap : (int * Selection.t) option;  (* epoch-tagged cache *)
+  mutable busy : bool;  (* re-entrancy guard *)
+  mutable last_w : float;
+  mutable monotone : bool;
+  (* Depth-bounded multi-source BFS scratch, stamp-cleared so a repair
+     costs the neighborhood it walks, not O(n). *)
+  mutable seen_stamp : int array;
+  mutable stamp : int;
+  queue : (int * int) Queue.t;
+  ws : Lbc.Workspace.t;
+}
+
+let m_inserts = Obs.counter "dynamic.inserts"
+let m_insert_kept = Obs.counter "dynamic.insert.kept"
+let m_del_edges = Obs.counter "dynamic.deletes.edges"
+let m_del_vertices = Obs.counter "dynamic.deletes.vertices"
+let m_repairs = Obs.counter "dynamic.repair.calls"
+let m_touched = Obs.counter "dynamic.repair.touched_vertices"
+let m_rechecks = Obs.counter "dynamic.repair.rechecks"
+let m_readded = Obs.counter "dynamic.repair.readded"
+let m_shed_c = Obs.counter "dynamic.repair.shed"
+let m_epochs = Obs.counter "dynamic.epochs"
+let m_queries = Obs.counter "dynamic.queries"
+let m_query_batches = Obs.counter "dynamic.query_batches"
+let h_region = Obs.histogram "dynamic.repair.region_size"
+let h_qlat = Obs.histogram_log "dynamic.query_latency"
+
+let key u v = if u < v then (u, v) else (v, u)
+let hops_bound t = (2 * t.o.k) - 1
+
+let guard t what =
+  if t.busy then
+    invalid_arg (Printf.sprintf "Dynamic.%s: handle is mid-update" what)
+
+let check_vertex t what x =
+  if x < 0 || x >= t.nv then
+    invalid_arg (Printf.sprintf "Dynamic.%s: vertex %d out of range" what x)
+
+(* Rebuild the spanner graph from the live kept edges (insertion order).
+   O(|H|) materialization only — never a greedy re-run; deferred to the
+   next LBC decision so a burst of deletions pays it once. *)
+let refresh_spanner t =
+  if t.spanner_dirty then begin
+    let g = Graph.create ~backend:t.backend t.nv in
+    for i = 0 to t.n_edges - 1 do
+      let e = t.edges.(i) in
+      if e.alive && e.kept then ignore (Graph.add_edge g e.eu e.ev ~w:e.ew)
+    done;
+    t.spanner <- g;
+    t.spanner_dirty <- false
+  end
+
+let decide t ~u ~v ~exclude =
+  refresh_spanner t;
+  Lbc.decide ~ws:t.ws ~exclude ~mode:t.o.mode t.spanner ~u ~v
+    ~t:(hops_bound t) ~alpha:t.o.f
+
+let store_edge t u v w =
+  if t.n_edges = Array.length t.edges then begin
+    let bigger =
+      Array.make
+        (max 16 (2 * Array.length t.edges))
+        { eu = 0; ev = 0; ew = 0.; alive = false; kept = false }
+    in
+    Array.blit t.edges 0 bigger 0 t.n_edges;
+    t.edges <- bigger
+  end;
+  let u, v = key u v in
+  let idx = t.n_edges in
+  t.edges.(idx) <- { eu = u; ev = v; ew = w; alive = true; kept = false };
+  t.n_edges <- idx + 1;
+  Hashtbl.replace t.by_pair (u, v) idx;
+  t.adj.(u) <- idx :: t.adj.(u);
+  t.adj.(v) <- idx :: t.adj.(v);
+  t.live <- t.live + 1;
+  idx
+
+let insert_edge t u v w =
+  check_vertex t "apply" u;
+  check_vertex t "apply" v;
+  if u = v then invalid_arg "Dynamic.apply: self-loop insert";
+  if t.retired.(u) || t.retired.(v) then
+    invalid_arg "Dynamic.apply: insert on a retired vertex";
+  if Hashtbl.mem t.by_pair (key u v) then
+    invalid_arg (Printf.sprintf "Dynamic.apply: duplicate edge {%d,%d}" u v);
+  if w <= 0. then invalid_arg "Dynamic.apply: weight must be > 0";
+  if w < t.last_w then t.monotone <- false;
+  t.last_w <- max t.last_w w;
+  let idx = store_edge t u v w in
+  Obs.Counter.incr m_inserts;
+  match decide t ~u ~v ~exclude:[] with
+  | Lbc.Yes _ ->
+      t.edges.(idx).kept <- true;
+      t.kept_n <- t.kept_n + 1;
+      ignore (Graph.add_edge t.spanner u v ~w);
+      Obs.Counter.incr m_insert_kept;
+      true
+  | Lbc.No _ -> false
+
+(* Depth-bounded multi-source BFS over the OLD spanner graph (deleted
+   edges still present — a sound over-approximation of the affected
+   region: any rejected edge whose [<= 2k-1]-hop detour used a deleted
+   spanner edge has an endpoint within [2k-1] old-spanner hops of that
+   edge).  Cost is proportional to the region walked, not n. *)
+let affected_region t ~seeds ~depth =
+  if Array.length t.seen_stamp < t.nv then t.seen_stamp <- Array.make t.nv 0;
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp and seen = t.seen_stamp in
+  let g = t.spanner in
+  let region = ref [] in
+  Queue.clear t.queue;
+  List.iter
+    (fun s ->
+      if seen.(s) <> stamp then begin
+        seen.(s) <- stamp;
+        region := s :: !region;
+        Queue.add (s, 0) t.queue
+      end)
+    seeds;
+  while not (Queue.is_empty t.queue) do
+    let x, dx = Queue.pop t.queue in
+    if dx < depth then
+      Graph.iter_neighbors g x (fun y _ ->
+          if seen.(y) <> stamp then begin
+            seen.(y) <- stamp;
+            region := y :: !region;
+            Queue.add (y, dx + 1) t.queue
+          end)
+  done;
+  !region
+
+(* Live non-spanner edges anchored in [region], in nondecreasing
+   (weight, id) order — the greedy's order, so a given state always
+   repairs the same way. *)
+let candidates t region =
+  let ids = ref [] in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun idx ->
+          let e = t.edges.(idx) in
+          if e.alive && not e.kept then ids := idx :: !ids)
+        t.adj.(x))
+    region;
+  List.sort_uniq compare !ids
+  |> List.map (fun idx -> (t.edges.(idx).ew, idx))
+  |> List.sort compare
+  |> List.map snd
+
+type stats = {
+  inserted : int;
+  kept : int;
+  deleted_edges : int;
+  deleted_vertices : int;
+  touched_vertices : int;
+  rechecked : int;
+  readded : int;
+  shed : int;
+  epoch : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<h>+%d (kept %d) -%d edges -%d vertices; repair: touched %d, \
+     rechecked %d, readded %d, shed %d; epoch %d@]"
+    s.inserted s.kept s.deleted_edges s.deleted_vertices s.touched_vertices
+    s.rechecked s.readded s.shed s.epoch
+
+(* Mutable accumulator threaded through one [apply]. *)
+type acc = {
+  mutable a_inserted : int;
+  mutable a_kept : int;
+  mutable a_del_e : int;
+  mutable a_del_v : int;
+  mutable a_touched : int;
+  mutable a_recheck : int;
+  mutable a_readd : int;
+  mutable a_shed : int;
+}
+
+let recheck_region t acc region =
+  List.iter
+    (fun idx ->
+      let e = t.edges.(idx) in
+      acc.a_recheck <- acc.a_recheck + 1;
+      Obs.Counter.incr m_rechecks;
+      match decide t ~u:e.eu ~v:e.ev ~exclude:[] with
+      | Lbc.Yes _ ->
+          e.kept <- true;
+          t.kept_n <- t.kept_n + 1;
+          ignore (Graph.add_edge t.spanner e.eu e.ev ~w:e.ew);
+          acc.a_readd <- acc.a_readd + 1;
+          Obs.Counter.incr m_readded
+      | Lbc.No _ -> ())
+    (candidates t region)
+
+(* Targeted repair after a group of deletions whose kept edges touched
+   [seeds].  Never a rebuild: the spanner graph is re-materialized once
+   (O(|H|)), and greedy re-decisions run only over the affected
+   neighborhood. *)
+let repair t acc ~seeds =
+  Obs.Counter.incr m_repairs;
+  let depth = hops_bound t in
+  (* Region on the OLD spanner, before the deletions take effect. *)
+  let region = affected_region t ~seeds ~depth in
+  let touched = List.length region in
+  acc.a_touched <- acc.a_touched + touched;
+  Obs.Counter.add m_touched touched;
+  Obs.Histogram.observe_int h_region touched;
+  if Obs_trace.enabled () then
+    Obs_trace.emit
+      (Obs_trace.Counter_sample
+         { name = "dynamic.repair.touched_vertices"; value = touched });
+  t.spanner_dirty <- true;
+  (* Add-only pass: re-admit candidates the lost edges may have been
+     covering (first [decide] re-materializes the spanner). *)
+  recheck_region t acc region;
+  if t.o.shed then begin
+    refresh_spanner t;
+    (* Shed probe, heaviest first: a NO on [H \ e] means the spanner
+       keeps alpha+1 short detours without [e] — the edge is redundant
+       (the repair may have restored coverage the deleted edges used to
+       provide).  One pass, no cascade; [exclude] accumulates so later
+       probes see earlier sheds without re-materializing. *)
+    let kept_anchored =
+      List.filter
+        (fun idx ->
+          let e = t.edges.(idx) in
+          e.alive && e.kept)
+        (List.sort_uniq compare
+           (List.concat_map (fun x -> t.adj.(x)) region))
+      |> List.map (fun idx -> (t.edges.(idx).ew, idx))
+      |> List.sort (fun a b -> compare b a)
+      |> List.map snd
+    in
+    let excluded = ref [] in
+    let shed_seeds = ref [] in
+    List.iter
+      (fun idx ->
+        let e = t.edges.(idx) in
+        match Graph.find_edge t.spanner e.eu e.ev with
+        | None -> ()
+        | Some gid -> (
+            match
+              Lbc.decide ~ws:t.ws ~exclude:(gid :: !excluded) ~mode:t.o.mode
+                t.spanner ~u:e.eu ~v:e.ev ~t:depth ~alpha:t.o.f
+            with
+            | Lbc.No _ ->
+                e.kept <- false;
+                t.kept_n <- t.kept_n - 1;
+                excluded := gid :: !excluded;
+                shed_seeds := e.eu :: e.ev :: !shed_seeds;
+                acc.a_shed <- acc.a_shed + 1;
+                Obs.Counter.incr m_shed_c
+            | Lbc.Yes _ -> ()))
+      kept_anchored;
+    if !shed_seeds <> [] then begin
+      (* Shedding can invalidate NO verdicts of edges whose detours used
+         a shed edge; those live within [depth] old-spanner hops of it.
+         One final add-only re-check restores the invariant (adds never
+         invalidate other verdicts, so this terminates). *)
+      let region2 = affected_region t ~seeds:!shed_seeds ~depth in
+      let touched2 = List.length region2 in
+      acc.a_touched <- acc.a_touched + touched2;
+      Obs.Counter.add m_touched touched2;
+      Obs.Histogram.observe_int h_region touched2;
+      t.spanner_dirty <- true;
+      recheck_region t acc region2
+    end
+  end
+
+let apply t ops =
+  guard t "apply";
+  t.busy <- true;
+  Fun.protect
+    ~finally:(fun () -> t.busy <- false)
+    (fun () ->
+      if Obs_trace.enabled () then
+        Obs_trace.emit
+          (Obs_trace.Phase { name = "dynamic.apply"; index = t.cur_epoch });
+      let acc =
+        {
+          a_inserted = 0;
+          a_kept = 0;
+          a_del_e = 0;
+          a_del_v = 0;
+          a_touched = 0;
+          a_recheck = 0;
+          a_readd = 0;
+          a_shed = 0;
+        }
+      in
+      let changed = ref false in
+      let pending_seeds = ref [] in
+      let flush_repair () =
+        if !pending_seeds <> [] then begin
+          let seeds = List.rev !pending_seeds in
+          pending_seeds := [];
+          repair t acc ~seeds
+        end
+      in
+      let delete_edge_idx idx =
+        let e = t.edges.(idx) in
+        e.alive <- false;
+        Hashtbl.remove t.by_pair (key e.eu e.ev);
+        t.live <- t.live - 1;
+        acc.a_del_e <- acc.a_del_e + 1;
+        Obs.Counter.incr m_del_edges;
+        if e.kept then begin
+          e.kept <- false;
+          t.kept_n <- t.kept_n - 1;
+          (* The spanner graph stays stale until [repair] has walked the
+             old neighborhood; [flush_repair] runs before any decision
+             that could observe it. *)
+          pending_seeds := e.ev :: e.eu :: !pending_seeds
+        end
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Insert { u; v; w } ->
+              flush_repair ();
+              changed := true;
+              acc.a_inserted <- acc.a_inserted + 1;
+              if insert_edge t u v w then acc.a_kept <- acc.a_kept + 1
+          | Delete_edge { u; v } -> (
+              check_vertex t "apply" u;
+              check_vertex t "apply" v;
+              match Hashtbl.find_opt t.by_pair (key u v) with
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Dynamic.apply: no live edge {%d,%d}" u v)
+              | Some idx ->
+                  changed := true;
+                  delete_edge_idx idx)
+          | Delete_vertex x ->
+              check_vertex t "apply" x;
+              if t.retired.(x) then
+                invalid_arg
+                  (Printf.sprintf "Dynamic.apply: vertex %d already retired" x);
+              changed := true;
+              t.retired.(x) <- true;
+              acc.a_del_v <- acc.a_del_v + 1;
+              Obs.Counter.incr m_del_vertices;
+              List.iter
+                (fun idx -> if t.edges.(idx).alive then delete_edge_idx idx)
+                t.adj.(x))
+        ops;
+      flush_repair ();
+      if !changed then begin
+        t.cur_epoch <- t.cur_epoch + 1;
+        Obs.Counter.incr m_epochs;
+        t.snap <- None
+      end;
+      {
+        inserted = acc.a_inserted;
+        kept = acc.a_kept;
+        deleted_edges = acc.a_del_e;
+        deleted_vertices = acc.a_del_v;
+        touched_vertices = acc.a_touched;
+        rechecked = acc.a_recheck;
+        readded = acc.a_readd;
+        shed = acc.a_shed;
+        epoch = t.cur_epoch;
+      })
+
+let create ?(opts = default_opts) g =
+  if opts.k < 1 then invalid_arg "Dynamic.create: k must be >= 1";
+  if opts.f < 0 then invalid_arg "Dynamic.create: f must be >= 0";
+  let nv = Graph.n g in
+  let t =
+    {
+      o = opts;
+      nv;
+      backend = Graph.backend g;
+      edges = [||];
+      n_edges = 0;
+      by_pair = Hashtbl.create 64;
+      adj = Array.make (max 1 nv) [];
+      retired = Array.make (max 1 nv) false;
+      live = 0;
+      kept_n = 0;
+      spanner = Graph.create ~backend:(Graph.backend g) nv;
+      spanner_dirty = false;
+      cur_epoch = 0;
+      snap = None;
+      busy = false;
+      last_w = neg_infinity;
+      monotone = true;
+      seen_stamp = [||];
+      stamp = 0;
+      queue = Queue.create ();
+      ws = Lbc.Workspace.create ();
+    }
+  in
+  (* Seed with the greedy's order (nondecreasing weight, ties by id), so
+     the initial spanner is exactly a fresh build's. *)
+  let edges = Graph.edge_array g in
+  Array.sort
+    (fun a b -> compare (a.Graph.w, a.Graph.id) (b.Graph.w, b.Graph.id))
+    edges;
+  Array.iter (fun e -> ignore (insert_edge t e.Graph.u e.Graph.v e.Graph.w)) edges;
+  t
+
+type query_result = { qu : int; qv : int; distance : float; hops : int }
+
+let pp_query_result ppf r =
+  if r.hops < 0 then Format.fprintf ppf "@[<h>d(%d,%d) = inf@]" r.qu r.qv
+  else
+    Format.fprintf ppf "@[<h>d(%d,%d) = %g (%d hops)@]" r.qu r.qv r.distance
+      r.hops
+
+let snapshot t =
+  guard t "snapshot";
+  match t.snap with
+  | Some (e, sel) when e = t.cur_epoch -> sel
+  | _ ->
+      let g = Graph.create ~backend:t.backend t.nv in
+      let kept = ref [] in
+      for i = 0 to t.n_edges - 1 do
+        let e = t.edges.(i) in
+        if e.alive then begin
+          let id = Graph.add_edge g e.eu e.ev ~w:e.ew in
+          if e.kept then kept := id :: !kept
+        end
+      done;
+      let sel = Selection.of_ids g !kept in
+      t.snap <- Some (t.cur_epoch, sel);
+      sel
+
+let query_batch t ~faults pairs =
+  guard t "query_batch";
+  let sel = snapshot t in
+  let g = sel.Selection.source in
+  Array.iter
+    (fun (u, v) ->
+      check_vertex t "query_batch" u;
+      check_vertex t "query_batch" v)
+    pairs;
+  let nq = Array.length pairs in
+  Obs.Counter.incr m_query_batches;
+  Obs.Counter.add m_queries nq;
+  if Obs_trace.enabled () then
+    Obs_trace.emit
+      (Obs_trace.Phase { name = "dynamic.query_batch"; index = t.cur_epoch });
+  let bv, _ = Fault.masks g faults in
+  let h_blocked =
+    Selection.blocked_edges sel
+      (match faults.Fault.mode with
+      | Fault.EFT -> faults.Fault.members
+      | Fault.VFT -> [])
+  in
+  let unit_graph = Graph.is_unit_weighted g in
+  let max_hops = max 1 (Graph.n g) in
+  let results =
+    Array.make nq { qu = 0; qv = 0; distance = infinity; hops = -1 }
+  in
+  let epoch0 = t.cur_epoch in
+  let answer i =
+    let u, v = pairs.(i) in
+    let t0 = Obs.now_s () in
+    let r =
+      if u = v then { qu = u; qv = v; distance = 0.; hops = 0 }
+      else
+        let path =
+          if unit_graph then
+            Bfs.hop_bounded_path ?blocked_vertices:bv ~blocked_edges:h_blocked
+              g ~src:u ~dst:v ~max_hops
+          else
+            Dijkstra.shortest_path ?blocked_vertices:bv
+              ~blocked_edges:h_blocked g ~src:u ~dst:v
+        in
+        match path with
+        | None -> { qu = u; qv = v; distance = infinity; hops = -1 }
+        | Some p ->
+            {
+              qu = u;
+              qv = v;
+              distance =
+                (if unit_graph then float_of_int (Path.hops p)
+                 else Path.weight g p);
+              hops = Path.hops p;
+            }
+    in
+    Obs.Histogram.observe h_qlat (Obs.now_s () -. t0);
+    results.(i) <- r
+  in
+  (match t.o.pool with
+  | None ->
+      for i = 0 to nq - 1 do
+        answer i
+      done
+  | Some pool ->
+      if nq > 0 then
+        Exec.parallel_for pool ~lo:0 ~hi:nq (fun ~worker:_ lo hi ->
+            for i = lo to hi - 1 do
+              answer i
+            done));
+  (* Epoch guard: the snapshot was captured above; a concurrent mutation
+     would be a caller bug (the handle is not a concurrent structure on
+     the update side), so fail loudly rather than answer from a torn
+     state. *)
+  if epoch0 <> t.cur_epoch then
+    invalid_arg "Dynamic.query_batch: epoch moved mid-batch";
+  results
+
+let n t = t.nv
+let size t = t.kept_n
+let live_edges t = t.live
+let epoch t = t.cur_epoch
+let weight_monotone t = t.monotone
+let mode t = t.o.mode
+let k t = t.o.k
+let f t = t.o.f

@@ -1,52 +1,30 @@
-type t = {
-  mode : Fault.mode;
-  k : int;
-  f : int;
-  source : Graph.t;  (* all arrivals *)
-  spanner : Graph.t;  (* kept arrivals *)
-  mutable kept_ids : int list;  (* source edge ids, newest first *)
-  mutable kept : int;
-  mutable last_weight : float;
-  mutable monotone : bool;
-  ws : Lbc.Workspace.t;
-}
+(* Thin compatibility layer over {!Dynamic} — see the .mli deprecation
+   notes.  The handle keeps its own copy of the arrival graph so
+   [snapshot] can expose a selection whose source ids are the arrival
+   ids, exactly as the historical implementation did.  With no deletions
+   the dynamic store assigns the same consecutive ids, so the kept mask
+   transfers verbatim. *)
+
+type t = { d : Dynamic.t; source : Graph.t }
 
 let create ~mode ~k ~f ~n =
   if k < 1 then invalid_arg "Incremental.create: k must be >= 1";
   if f < 0 then invalid_arg "Incremental.create: f must be >= 0";
   {
-    mode;
-    k;
-    f;
+    d = Dynamic.create ~opts:(Dynamic.opts ~mode ~k ~f ()) (Graph.create n);
     source = Graph.create n;
-    spanner = Graph.create n;
-    kept_ids = [];
-    kept = 0;
-    last_weight = neg_infinity;
-    monotone = true;
-    ws = Lbc.Workspace.create ();
   }
 
 let insert t u v ~w =
-  let id = Graph.add_edge t.source u v ~w in
-  if w < t.last_weight then t.monotone <- false;
-  t.last_weight <- max t.last_weight w;
-  let verdict =
-    Lbc.decide ~ws:t.ws ~mode:t.mode t.spanner ~u ~v ~t:((2 * t.k) - 1)
-      ~alpha:t.f
-  in
-  match verdict with
-  | Lbc.Yes _ ->
-      ignore (Graph.add_edge t.spanner u v ~w);
-      t.kept_ids <- id :: t.kept_ids;
-      t.kept <- t.kept + 1;
-      true
-  | Lbc.No _ -> false
+  ignore (Graph.add_edge t.source u v ~w);
+  let stats = Dynamic.apply t.d [ Dynamic.Insert { u; v; w } ] in
+  stats.Dynamic.kept > 0
 
 let insert_unit t u v = insert t u v ~w:1.0
-
-let size t = t.kept
+let size t = Dynamic.size t.d
 let seen t = Graph.m t.source
-let weight_monotone t = t.monotone
+let weight_monotone t = Dynamic.weight_monotone t.d
 
-let snapshot t = Selection.of_ids t.source t.kept_ids
+let snapshot t =
+  let sel = Dynamic.snapshot t.d in
+  Selection.of_mask t.source sel.Selection.selected

@@ -1,45 +1,56 @@
 (** Incremental (insertion-only) fault-tolerant spanner maintenance.
 
-    Theorem 8's size analysis holds for an {e arbitrary} edge order, and on
-    unit-weight graphs so does correctness (Theorem 5) — which makes the
-    modified greedy natural to run online: feed each arriving edge through
-    the same LBC test against the spanner built so far.  The answer for an
-    already-rejected edge only becomes more true as the spanner grows
-    (Theorem 4's NO guarantee is monotone under edge additions), so no
-    revisiting is ever needed.
+    {b Deprecated}: this module survives for one release as a thin
+    compatibility layer over {!Dynamic}, which replaces it with a single
+    handle accepting arbitrary-order insertions, deletions with targeted
+    local repair, and a batched fault-masked query plane.  Migration:
 
-    For weighted graphs the stretch guarantee additionally needs
-    nondecreasing arrival weights (Theorem 10's ordering argument); the
-    builder tracks whether arrivals respected that and reports it, leaving
-    policy to the caller.
+    {v
+    Incremental.create ~mode ~k ~f ~n   -->  Dynamic.create
+                                               ~opts:(Dynamic.opts ~mode ~k ~f ())
+                                               (Graph.create n)
+    Incremental.insert t u v ~w         -->  Dynamic.apply t [Insert {u; v; w}]
+    Incremental.size / snapshot         -->  Dynamic.size / Dynamic.snapshot
+    v}
 
-    The structure maintains its own growing source graph; {!snapshot}
-    materializes the usual {!Selection.t} view at any point. *)
+    The historical behavior is unchanged: each arriving edge runs the
+    same LBC test against the spanner built so far (Theorem 8's size
+    analysis is order-free; a NO answer is monotone under additions, so
+    rejected edges never need revisiting), and {!weight_monotone} still
+    reports whether arrivals respected the nondecreasing-weight order
+    Theorem 10's weighted guarantee needs. *)
 
 type t
 
 (** [create ~mode ~k ~f ~n] starts an empty maintainer over [n] fixed
     vertices. *)
 val create : mode:Fault.mode -> k:int -> f:int -> n:int -> t
+[@@ocaml.deprecated "Use Dynamic.create (see Incremental's migration note)."]
 
 (** [insert t u v ~w] feeds one arriving edge; returns [true] when the
     edge was kept.  Raises [Invalid_argument] on self-loops/duplicates,
     like {!Graph.add_edge}. *)
 val insert : t -> int -> int -> w:float -> bool
+[@@ocaml.deprecated "Use Dynamic.apply with an Insert op."]
 
 (** [insert_unit t u v] is [insert t u v ~w:1.0]. *)
 val insert_unit : t -> int -> int -> bool
+[@@ocaml.deprecated "Use Dynamic.apply with an Insert op."]
 
 (** [size t] is the current spanner size; [seen t] the number of arrivals. *)
 val size : t -> int
+[@@ocaml.deprecated "Use Dynamic.size."]
 
 val seen : t -> int
+[@@ocaml.deprecated "Use Dynamic.live_edges."]
 
 (** [weight_monotone t] is [true] while arrivals came in nondecreasing
     weight order — the condition under which the weighted stretch guarantee
     (Theorem 10) applies to the current state. *)
 val weight_monotone : t -> bool
+[@@ocaml.deprecated "Use Dynamic.weight_monotone."]
 
 (** [snapshot t] materializes the arrivals-so-far as a graph plus the kept
     selection over it. *)
 val snapshot : t -> Selection.t
+[@@ocaml.deprecated "Use Dynamic.snapshot."]

@@ -34,7 +34,7 @@ let m_bfs_rounds = Obs.counter "lbc.bfs_rounds"
 let h_rounds = Obs.histogram "lbc.rounds_per_call"
 let h_cut = Obs.histogram "lbc.cut_size"
 
-let decide ?ws ?(edge = -1) ~mode g ~u ~v ~t ~alpha =
+let decide ?ws ?(edge = -1) ?(exclude = []) ~mode g ~u ~v ~t ~alpha =
   if u = v then invalid_arg "Lbc.decide: u = v";
   (* One LBC verdict is the centralized algorithms' logical operation:
      the heartbeat stream paces itself on it. *)
@@ -66,16 +66,37 @@ let decide ?ws ?(edge = -1) ~mode g ~u ~v ~t ~alpha =
       dirty := id :: !dirty
     end
   in
+  (* Excluded edges are blocked outside the dirty list: they never enter a
+     YES certificate, and they stay blocked across every round of this
+     call.  [excluded] remembers which entries this call actually set so
+     nested masks (a caller pre-blocking the same id) survive. *)
+  let excluded =
+    List.filter
+      (fun id ->
+        if id >= 0 && id < Graph.m g && not blocked_e.(id) then begin
+          blocked_e.(id) <- true;
+          true
+        end
+        else false)
+      exclude
+  in
   let cleanup () =
-    match mode with
+    (match mode with
     | Fault.VFT -> List.iter (fun x -> blocked_v.(x) <- false) !dirty
-    | Fault.EFT -> List.iter (fun id -> blocked_e.(id) <- false) !dirty
+    | Fault.EFT -> List.iter (fun id -> blocked_e.(id) <- false) !dirty);
+    List.iter (fun id -> blocked_e.(id) <- false) excluded
   in
   let find_path () =
     match mode with
     | Fault.VFT ->
-        Bfs.hop_bounded_path ~ws:ws.Workspace.bfs ~blocked_vertices:blocked_v g
-          ~src:u ~dst:v ~max_hops:t
+        (* The edge mask only reaches the search when something is
+           excluded; the common path stays mask-free. *)
+        if exclude = [] then
+          Bfs.hop_bounded_path ~ws:ws.Workspace.bfs ~blocked_vertices:blocked_v
+            g ~src:u ~dst:v ~max_hops:t
+        else
+          Bfs.hop_bounded_path ~ws:ws.Workspace.bfs ~blocked_vertices:blocked_v
+            ~blocked_edges:blocked_e g ~src:u ~dst:v ~max_hops:t
     | Fault.EFT ->
         Bfs.hop_bounded_path ~ws:ws.Workspace.bfs ~blocked_edges:blocked_e g
           ~src:u ~dst:v ~max_hops:t

@@ -25,7 +25,7 @@ module Workspace : sig
   (** Reusable scratch space (BFS arrays plus fault masks).  One workspace
       serves any number of sequential calls, growing as graphs grow.  A
       workspace must not be shared between concurrent calls: give each
-      domain its own (as {!Batch_greedy.build_parallel} does). *)
+      domain its own (as {!Batch_greedy.build} does with a pool). *)
   type t
 
   val create : unit -> t
@@ -39,10 +39,16 @@ type verdict =
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
-(** [decide ?ws ?edge ~mode g ~u ~v ~t ~alpha] runs Algorithm 2.
+(** [decide ?ws ?edge ?exclude ~mode g ~u ~v ~t ~alpha] runs Algorithm 2.
     Requirements: [u <> v], [t >= 1], [alpha >= 0].  The graph may lack
     the edge [{u,v}] (in the greedy it always does — the candidate edge
     is not yet added).
+
+    [exclude] (default [[]]) lists edge ids of [g] the search must never
+    traverse, in either mode — the verdict is then about [g] minus those
+    edges.  {!Dynamic} uses it to probe "does the spanner still span
+    [{u,v}] without edge [e]?" without materializing [g \ e]; excluded
+    ids never appear in a [Yes] certificate.
 
     When [ws] is omitted a fresh workspace is created for the call, so
     workspace-less calls are reentrant and domain-safe; hot loops should
@@ -59,6 +65,7 @@ val pp_verdict : Format.formatter -> verdict -> unit
 val decide :
   ?ws:Workspace.t ->
   ?edge:int ->
+  ?exclude:int list ->
   mode:Fault.mode ->
   Graph.t ->
   u:int ->

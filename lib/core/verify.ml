@@ -231,3 +231,47 @@ let check_adversarial ?pool rng sel ~mode ~stretch ~f ~trials =
   check_sampled ?pool
     (fun rng -> Fault.random_adversarial rng mode sel.Selection.source ~f)
     rng sel ~stretch ~trials
+
+(* ------------------------- config surface ------------------------- *)
+
+type config = {
+  pool : Exec.Pool.t option;
+  trials : int;
+  rng : Rng.t option;
+  seed : int;
+  max_sets : float;
+}
+
+let default =
+  { pool = None; trials = 200; rng = None; seed = 0x5eed; max_sets = 2e6 }
+
+let config ?pool ?(trials = default.trials) ?rng ?(seed = default.seed)
+    ?(max_sets = default.max_sets) () =
+  if trials < 1 then invalid_arg "Verify.config: trials must be >= 1";
+  if max_sets <= 0. then invalid_arg "Verify.config: max_sets must be > 0";
+  { pool; trials; rng; seed; max_sets }
+
+(* A shared [rng] in the config threads one stream through successive
+   batteries (the CLI's adversarial -> random -> profile chain); without
+   one, each call derives a fresh deterministic stream from [seed]. *)
+let cfg_rng cfg =
+  match cfg.rng with Some r -> r | None -> Rng.create ~seed:cfg.seed
+
+let random ?(cfg = default) sel ~mode ~stretch ~f =
+  check_sampled ?pool:cfg.pool
+    (fun rng -> Fault.random rng mode sel.Selection.source ~f)
+    (cfg_rng cfg) sel ~stretch ~trials:cfg.trials
+
+let adversarial ?(cfg = default) sel ~mode ~stretch ~f =
+  check_sampled ?pool:cfg.pool
+    (fun rng -> Fault.random_adversarial rng mode sel.Selection.source ~f)
+    (cfg_rng cfg) sel ~stretch ~trials:cfg.trials
+
+let exhaustive ?(cfg = default) sel ~mode ~stretch ~f =
+  check_exhaustive ~max_sets:cfg.max_sets sel ~mode ~stretch ~f
+
+let profile ?(cfg = default) sel ~mode ~f =
+  stretch_profile ?pool:cfg.pool (cfg_rng cfg) sel ~mode ~f ~trials:cfg.trials
+
+let stretch_many ?(cfg = default) sel faults =
+  max_stretch_many ?pool:cfg.pool sel faults

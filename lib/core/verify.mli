@@ -9,17 +9,23 @@
     and simpler.)  That is what {!check_under_fault} implements.
 
     The fault-set quantifier is genuinely exponential; the module offers
-    - {!check_exhaustive}: all fault sets up to size [f] (small inputs —
+    - {!exhaustive}: all fault sets up to size [f] (small inputs —
       it refuses absurd instance sizes);
-    - {!check_random}: uniform fault sets, plus
-    - {!check_adversarial}: fault sets packed around a single edge's
+    - {!random}: uniform fault sets, plus
+    - {!adversarial}: fault sets packed around a single edge's
       neighborhood, which is what actually breaks non-fault-tolerant
       spanners in practice.
 
+    Every battery reads its tunables — pool, trial count, sampling rng,
+    exhaustive cap — from one {!config} record ({!default} covers the
+    common case); the historical labelled-argument entry points remain
+    as deprecated wrappers for one release.
+
     Fault batteries are embarrassingly parallel — one fault's evaluation
     touches only freshly allocated masks and BFS arrays over the
-    read-only source graph — so the samplers and {!max_stretch_many}
-    accept an [?pool] ({!Exec.Pool.t}) to fan the sweep out over domains.
+    read-only source graph — so the samplers and {!stretch_many}
+    accept a [config.pool] ({!Exec.Pool.t}) to fan the sweep out over
+    domains.
     Faults are always drawn from the rng in sample order and results are
     recorded by index, so every figure a parallel run reports is
     identical to the sequential run's; the one observable difference is
@@ -49,9 +55,65 @@ val ok : report -> bool
     condition for one fault set; [None] means it holds. *)
 val check_under_fault : Selection.t -> stretch:float -> Fault.t -> violation option
 
-(** [check_exhaustive sel ~mode ~stretch ~f ~max_sets] enumerates every
-    fault set of size [<= f].  Raises [Invalid_argument] if there are more
-    than [max_sets] of them (default [2e6]). *)
+(** {1 Configuration}
+
+    Every battery takes one {!config} instead of a spread of labelled
+    optional arguments.  Start from {!default} (or the {!config}
+    builder) and override what the call site cares about. *)
+
+type config = {
+  pool : Exec.Pool.t option;
+      (** fan fault evaluations out over this pool; [None] = sequential *)
+  trials : int;  (** sampled fault sets per battery (default 200) *)
+  rng : Rng.t option;
+      (** explicit sampling stream, shared across successive batteries —
+          the CLI threads one through adversarial, then random, then the
+          profile, so the chain's figures are a function of one seed *)
+  seed : int;
+      (** used only when [rng] is [None]: each battery then derives its
+          own fresh deterministic stream *)
+  max_sets : float;
+      (** refusal cap for {!exhaustive} (default [2e6]) *)
+}
+
+(** [default] is [{pool = None; trials = 200; rng = None; seed = 0x5eed;
+    max_sets = 2e6}]. *)
+val default : config
+
+(** [config ?pool ?trials ?rng ?seed ?max_sets ()] builds a config from
+    {!default}.  Raises [Invalid_argument] if [trials < 1] or
+    [max_sets <= 0]. *)
+val config :
+  ?pool:Exec.Pool.t ->
+  ?trials:int ->
+  ?rng:Rng.t ->
+  ?seed:int ->
+  ?max_sets:float ->
+  unit ->
+  config
+
+(** [exhaustive ?cfg sel ~mode ~stretch ~f] enumerates every fault set of
+    size [<= f].  Raises [Invalid_argument] if there are more than
+    [cfg.max_sets] of them. *)
+val exhaustive :
+  ?cfg:config -> Selection.t -> mode:Fault.mode -> stretch:float -> f:int -> report
+
+(** [random ?cfg sel ~mode ~stretch ~f] samples [cfg.trials] uniform
+    fault sets. *)
+val random :
+  ?cfg:config -> Selection.t -> mode:Fault.mode -> stretch:float -> f:int -> report
+
+(** [adversarial ?cfg sel ~mode ~stretch ~f] samples [cfg.trials] fault
+    sets concentrated around random edges (see
+    {!Fault.random_adversarial}). *)
+val adversarial :
+  ?cfg:config -> Selection.t -> mode:Fault.mode -> stretch:float -> f:int -> report
+
+(** {1 Deprecated labelled entry points}
+
+    Thin wrappers over the {!config}-based batteries, kept for one
+    release. *)
+
 val check_exhaustive :
   ?max_sets:float ->
   Selection.t ->
@@ -59,19 +121,17 @@ val check_exhaustive :
   stretch:float ->
   f:int ->
   report
+[@@ocaml.deprecated "Use Verify.exhaustive with a Verify.config."]
 
-(** [check_random ?pool rng sel ~mode ~stretch ~f ~trials] samples uniform
-    fault sets. *)
 val check_random :
   ?pool:Exec.Pool.t ->
   Rng.t -> Selection.t -> mode:Fault.mode -> stretch:float -> f:int -> trials:int -> report
+[@@ocaml.deprecated "Use Verify.random with a Verify.config."]
 
-(** [check_adversarial ?pool rng sel ~mode ~stretch ~f ~trials] samples
-    fault sets concentrated around random edges (see
-    {!Fault.random_adversarial}). *)
 val check_adversarial :
   ?pool:Exec.Pool.t ->
   Rng.t -> Selection.t -> mode:Fault.mode -> stretch:float -> f:int -> trials:int -> report
+[@@ocaml.deprecated "Use Verify.adversarial with a Verify.config."]
 
 (** Aggregate stretch statistics over sampled fault sets. *)
 type profile = {
@@ -86,13 +146,11 @@ type profile = {
 
 val pp_profile : Format.formatter -> profile -> unit
 
-(** [stretch_profile ?pool rng sel ~mode ~f ~trials] samples [trials]
-    fault sets (alternating uniform and adversarial) and aggregates
+(** [profile ?cfg sel ~mode ~f] samples [cfg.trials] fault sets
+    (alternating uniform and adversarial) and aggregates
     {!max_stretch_under_fault} over them — the empirical counterpart of
     the worst-case stretch guarantee. *)
-val stretch_profile :
-  ?pool:Exec.Pool.t ->
-  Rng.t -> Selection.t -> mode:Fault.mode -> f:int -> trials:int -> profile
+val profile : ?cfg:config -> Selection.t -> mode:Fault.mode -> f:int -> profile
 
 (** [max_stretch_under_fault sel fault] measures the worst ratio
     [d_{H\F}(u,v) / d_{G\F}(u,v)] over surviving source edges [{u,v}]
@@ -100,10 +158,19 @@ val stretch_profile :
     disconnected in [H\F] but connected in [G\F]). *)
 val max_stretch_under_fault : Selection.t -> Fault.t -> float
 
-(** [max_stretch_many ?pool sel faults] is
+(** [stretch_many ?cfg sel faults] is
     [Array.map (max_stretch_under_fault sel) faults], fanned out over
-    [pool] when given — the bulk battery behind [ftspan verify --jobs]
-    and the fault-injection example.  [faults.(i)]'s stretch lands at
-    index [i], so the result is independent of the domain count. *)
+    [cfg.pool] when given — the bulk battery behind
+    [ftspan verify --jobs] and the fault-injection example.
+    [faults.(i)]'s stretch lands at index [i], so the result is
+    independent of the domain count. *)
+val stretch_many : ?cfg:config -> Selection.t -> Fault.t array -> float array
+
+val stretch_profile :
+  ?pool:Exec.Pool.t ->
+  Rng.t -> Selection.t -> mode:Fault.mode -> f:int -> trials:int -> profile
+[@@ocaml.deprecated "Use Verify.profile with a Verify.config."]
+
 val max_stretch_many :
   ?pool:Exec.Pool.t -> Selection.t -> Fault.t array -> float array
+[@@ocaml.deprecated "Use Verify.stretch_many with a Verify.config."]

@@ -5,8 +5,8 @@
     calls whose costs vary wildly — a [Yes] can return after one BFS, a
     [No] burns [alpha + 1] rounds — so static equal chunks leave domains
     idle behind one expensive chunk, and spawning fresh domains per batch
-    (the old {!Batch_greedy.build_parallel}) pays domain startup on every
-    round.  This module fixes both: a {!Pool} is a set of worker domains
+    (the old, since-removed [Batch_greedy.build_parallel]) pays domain
+    startup on every round.  This module fixes both: a {!Pool} is a set of worker domains
     created {e once}, parked on a condition variable between regions, and
     handed dynamically-chunked index ranges through one shared atomic
     cursor, so uneven work load-balances by construction and steady-state
@@ -16,7 +16,7 @@
     chunks and promises only {e that every index is passed to [body]
     exactly once} (in some order, on some worker).  Callers that write
     results {e by index} into pre-sized arrays — the way
-    {!Batch_greedy.build} records verdicts and {!Verify.max_stretch_many}
+    {!Batch_greedy.build} records verdicts and {!Verify.stretch_many}
     records stretches — therefore produce {e bit-identical} results
     regardless of the domain count, the chunk size, or which worker stole
     which range.  Do not fold results in completion order; index-addressed

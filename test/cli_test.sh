@@ -90,6 +90,32 @@ cmp -s "$TMP/sel-seq.txt" "$TMP/sel-par.txt" \
 "$BIN" build -k 2 -f 1 "$TMP/s.graph" --dot "$TMP/s.dot" >/dev/null || fail "build --dot"
 grep -q "graph ftspan" "$TMP/s.dot" || fail "dot output malformed"
 
+# dynamic: replay an update/query script against the generated graph,
+# byte-identical across runs and --jobs counts, and the final selection
+# it writes must verify against the final graph it also writes
+cat > "$TMP/dyn.ops" <<'EOF'
+query 0 30
+faults 5
+query 0 30
+delv 3
+flush
+query 0 30
+EOF
+"$BIN" dynamic -k 2 -f 1 --graph "$TMP/g.graph" "$TMP/dyn.ops" \
+  -o "$TMP/dyn-sel.txt" --out-graph "$TMP/dyn-final.graph" > "$TMP/dyn1.out" \
+  || fail "dynamic replay"
+grep -q "repair: touched" "$TMP/dyn1.out" || fail "dynamic must report repair"
+"$BIN" dynamic -k 2 -f 1 -j 2 --graph "$TMP/g.graph" "$TMP/dyn.ops" \
+  > "$TMP/dyn2.out" || fail "dynamic -j 2"
+grep -v "^selection written\|^final graph written" "$TMP/dyn1.out" > "$TMP/dyn1.cmp"
+cmp -s "$TMP/dyn1.cmp" "$TMP/dyn2.out" \
+  || fail "dynamic -j 2 transcript must match --jobs 1"
+"$BIN" verify -k 2 -f 1 --trials 40 "$TMP/dyn-final.graph" "$TMP/dyn-sel.txt" \
+  | grep -q "OK" || fail "dynamic final selection must verify"
+printf 'bogus\n' > "$TMP/dyn-bad.ops"
+"$BIN" dynamic "$TMP/dyn-bad.ops" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "bad dynamic script must exit 2"
+
 # oracle, local, congest
 "$BIN" oracle -k 2 --queries 200 "$TMP/g.graph" | grep -q "guarantee 3" \
   || fail "oracle"

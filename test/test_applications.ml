@@ -1,4 +1,5 @@
-(* Tests for the application-layer modules: the incremental builder, the
+(* Tests for the application-layer modules: the dynamic maintainer's
+   insertion-only face (plus the deprecated Incremental alias layer), the
    Thorup-Zwick distance oracle, the asynchronous simulator and the
    synchronizer. *)
 
@@ -11,26 +12,33 @@ let rng () = Rng.create ~seed:808
 
 let stretch k = float_of_int ((2 * k) - 1)
 
-(* ------------------------- Incremental ------------------------------- *)
+(* ----------------- Dynamic (insertion-only face) --------------------- *)
+
+let dyn ~mode ~k ~f ~n =
+  Dynamic.create ~opts:(Dynamic.opts ~mode ~k ~f ()) (Graph.create n)
 
 let test_incremental_matches_offline_input_order () =
   let r = rng () in
   let g = Generators.connected_gnp r ~n:40 ~p:0.25 in
-  let inc = Incremental.create ~mode:Fault.VFT ~k:2 ~f:2 ~n:40 in
-  Graph.iter_edges g (fun e -> ignore (Incremental.insert inc e.Graph.u e.Graph.v ~w:e.Graph.w));
+  let d = dyn ~mode:Fault.VFT ~k:2 ~f:2 ~n:40 in
+  Graph.iter_edges g (fun e ->
+      ignore (Dynamic.apply d [ Dynamic.Insert { u = e.Graph.u; v = e.Graph.v; w = e.Graph.w } ]));
   let offline = Poly_greedy.build ~order:Poly_greedy.Input_order ~mode:Fault.VFT ~k:2 ~f:2 g in
-  let snap = Incremental.snapshot inc in
-  checki "same size" offline.Selection.size (Incremental.size inc);
+  let snap = Dynamic.snapshot d in
+  checki "same size" offline.Selection.size (Dynamic.size d);
+  (* insertion-only: the maintainer's edge ids are arrival-ordered, hence
+     identical to the source graph's. *)
   check (Alcotest.list Alcotest.int) "same selection" (Selection.ids offline)
     (Selection.ids snap)
 
 let test_incremental_snapshot_is_valid_spanner () =
   let r = rng () in
   let g = Generators.connected_gnp r ~n:13 ~p:0.4 in
-  let inc = Incremental.create ~mode:Fault.VFT ~k:2 ~f:1 ~n:13 in
-  Graph.iter_edges g (fun e -> ignore (Incremental.insert_unit inc e.Graph.u e.Graph.v));
+  let d = dyn ~mode:Fault.VFT ~k:2 ~f:1 ~n:13 in
+  Graph.iter_edges g (fun e ->
+      ignore (Dynamic.apply d [ Dynamic.Insert { u = e.Graph.u; v = e.Graph.v; w = 1.0 } ]));
   let report =
-    Verify.check_exhaustive (Incremental.snapshot inc) ~mode:Fault.VFT
+    Verify.exhaustive (Dynamic.snapshot d) ~mode:Fault.VFT
       ~stretch:(stretch 2) ~f:1
   in
   checkb "valid" true (Verify.ok report)
@@ -39,33 +47,57 @@ let test_incremental_prefix_validity () =
   (* Every prefix of the stream yields a valid spanner of the prefix. *)
   let r = rng () in
   let g = Generators.connected_gnp r ~n:12 ~p:0.4 in
-  let inc = Incremental.create ~mode:Fault.VFT ~k:2 ~f:1 ~n:12 in
+  let d = dyn ~mode:Fault.VFT ~k:2 ~f:1 ~n:12 in
   let count = ref 0 in
   Graph.iter_edges g (fun e ->
-      ignore (Incremental.insert_unit inc e.Graph.u e.Graph.v);
+      ignore (Dynamic.apply d [ Dynamic.Insert { u = e.Graph.u; v = e.Graph.v; w = 1.0 } ]);
       incr count;
       if !count mod 10 = 0 then begin
         let report =
-          Verify.check_exhaustive (Incremental.snapshot inc) ~mode:Fault.VFT
+          Verify.exhaustive (Dynamic.snapshot d) ~mode:Fault.VFT
             ~stretch:(stretch 2) ~f:1
         in
         checkb (Printf.sprintf "prefix %d valid" !count) true (Verify.ok report)
       end)
 
 let test_incremental_monotone_flag () =
-  let inc = Incremental.create ~mode:Fault.VFT ~k:2 ~f:1 ~n:4 in
-  ignore (Incremental.insert inc 0 1 ~w:1.0);
-  ignore (Incremental.insert inc 1 2 ~w:2.0);
-  checkb "still monotone" true (Incremental.weight_monotone inc);
-  ignore (Incremental.insert inc 2 3 ~w:1.5);
-  checkb "violation detected" false (Incremental.weight_monotone inc)
+  let d = dyn ~mode:Fault.VFT ~k:2 ~f:1 ~n:4 in
+  ignore (Dynamic.apply d [ Dynamic.Insert { u = 0; v = 1; w = 1.0 } ]);
+  ignore (Dynamic.apply d [ Dynamic.Insert { u = 1; v = 2; w = 2.0 } ]);
+  checkb "still monotone" true (Dynamic.weight_monotone d);
+  ignore (Dynamic.apply d [ Dynamic.Insert { u = 2; v = 3; w = 1.5 } ]);
+  checkb "violation detected" false (Dynamic.weight_monotone d)
 
 let test_incremental_counts () =
-  let inc = Incremental.create ~mode:Fault.EFT ~k:2 ~f:1 ~n:3 in
-  checkb "first kept" true (Incremental.insert_unit inc 0 1);
-  checkb "second kept" true (Incremental.insert_unit inc 1 2);
-  checki "seen" 2 (Incremental.seen inc);
-  checki "kept" 2 (Incremental.size inc)
+  let d = dyn ~mode:Fault.EFT ~k:2 ~f:1 ~n:3 in
+  let s1 = Dynamic.apply d [ Dynamic.Insert { u = 0; v = 1; w = 1.0 } ] in
+  checki "first kept" 1 s1.Dynamic.kept;
+  let s2 = Dynamic.apply d [ Dynamic.Insert { u = 1; v = 2; w = 1.0 } ] in
+  checki "second kept" 1 s2.Dynamic.kept;
+  checki "seen" 2 (Dynamic.live_edges d);
+  checki "kept" 2 (Dynamic.size d)
+
+let test_incremental_alias_layer () =
+  (* Incremental survives one release as a thin alias over Dynamic; pin
+     its behavior until removal. *)
+  let create = (Incremental.create [@alert "-deprecated"]) in
+  let insert = (Incremental.insert [@alert "-deprecated"]) in
+  let size = (Incremental.size [@alert "-deprecated"]) in
+  let seen = (Incremental.seen [@alert "-deprecated"]) in
+  let snapshot = (Incremental.snapshot [@alert "-deprecated"]) in
+  let r = rng () in
+  let g = Generators.connected_gnp r ~n:20 ~p:0.3 in
+  let inc = create ~mode:Fault.VFT ~k:2 ~f:1 ~n:20 in
+  let d = dyn ~mode:Fault.VFT ~k:2 ~f:1 ~n:20 in
+  Graph.iter_edges g (fun e ->
+      let kept_inc = insert inc e.Graph.u e.Graph.v ~w:e.Graph.w in
+      let s = Dynamic.apply d [ Dynamic.Insert { u = e.Graph.u; v = e.Graph.v; w = e.Graph.w } ] in
+      checkb "alias agrees per edge" kept_inc (s.Dynamic.kept = 1));
+  checki "alias size" (Dynamic.size d) (size inc);
+  checki "alias seen" (Dynamic.live_edges d) (seen inc);
+  check (Alcotest.list Alcotest.int) "alias selection"
+    (Selection.ids (Dynamic.snapshot d))
+    (Selection.ids (snapshot inc))
 
 (* ------------------------ Distance oracle ---------------------------- *)
 
@@ -272,6 +304,7 @@ let () =
           Alcotest.test_case "prefix validity" `Quick test_incremental_prefix_validity;
           Alcotest.test_case "monotone flag" `Quick test_incremental_monotone_flag;
           Alcotest.test_case "counts" `Quick test_incremental_counts;
+          Alcotest.test_case "alias layer" `Quick test_incremental_alias_layer;
         ] );
       ( "distance oracle",
         [

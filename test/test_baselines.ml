@@ -133,7 +133,7 @@ let test_verify_full_selection_always_ok () =
   let r = rng () in
   let g = Generators.connected_gnp r ~n:25 ~p:0.2 in
   let sel = Selection.full g in
-  let report = Verify.check_random r sel ~mode:Fault.VFT ~stretch:1.0 ~f:3 ~trials:25 in
+  let report = Verify.random ~cfg:(Verify.config ~rng:r ~trials:25 ()) sel ~mode:Fault.VFT ~stretch:1.0 ~f:3 in
   checkb "G is a 1-spanner of itself under any faults" true (Verify.ok report)
 
 let test_verify_detects_bad_spanner () =
@@ -141,7 +141,7 @@ let test_verify_detects_bad_spanner () =
      the two sides disconnect. *)
   let g = Generators.cycle 6 in
   let sel = Selection.of_ids g [ 0; 1; 2; 3; 4 ] (* drop edge 5 *) in
-  let report = Verify.check_exhaustive sel ~mode:Fault.EFT ~stretch:(stretch 2) ~f:1 in
+  let report = Verify.exhaustive sel ~mode:Fault.EFT ~stretch:(stretch 2) ~f:1 in
   checkb "violation found" false (Verify.ok report)
 
 let test_verify_spanning_tree_f0 () =
@@ -149,16 +149,16 @@ let test_verify_spanning_tree_f0 () =
      stretch 3 for long cycles. *)
   let g = Generators.cycle 10 in
   let sel = Selection.of_ids g [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ] in
-  let bad = Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:3.0 ~f:0 in
+  let bad = Verify.exhaustive sel ~mode:Fault.VFT ~stretch:3.0 ~f:0 in
   checkb "stretch 3 violated by path detour of length 9" false (Verify.ok bad);
-  let good = Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:9.0 ~f:0 in
+  let good = Verify.exhaustive sel ~mode:Fault.VFT ~stretch:9.0 ~f:0 in
   checkb "stretch 9 fine" true (Verify.ok good)
 
 let test_verify_exhaustive_refuses_huge () =
   let g = Generators.complete 30 in
   let sel = Selection.full g in
   try
-    ignore (Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:3.0 ~f:10);
+    ignore (Verify.exhaustive sel ~mode:Fault.VFT ~stretch:3.0 ~f:10);
     Alcotest.fail "should refuse"
   with Invalid_argument _ -> ()
 
@@ -180,7 +180,7 @@ let test_verify_stretch_profile () =
   let r = rng () in
   let g = Generators.connected_gnp r ~n:40 ~p:0.2 in
   let sel = Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:2 g in
-  let p = Verify.stretch_profile r sel ~mode:Fault.VFT ~f:2 ~trials:40 in
+  let p = Verify.profile ~cfg:(Verify.config ~rng:r ~trials:40 ()) sel ~mode:Fault.VFT ~f:2 in
   checki "samples" 40 p.Verify.samples;
   checki "no disconnections for a 2-FT spanner at f=2" 0 p.Verify.disconnections;
   checkb "worst within guarantee" true (p.Verify.worst <= 3.0 +. 1e-9);
@@ -188,7 +188,7 @@ let test_verify_stretch_profile () =
     (p.Verify.mean <= p.Verify.p95 +. 1e-9 && p.Verify.p95 <= p.Verify.worst +. 1e-9);
   (* an under-provisioned spanner shows strictly worse profile *)
   let weak = Classic_greedy.build ~k:2 g in
-  let pw = Verify.stretch_profile r weak ~mode:Fault.VFT ~f:2 ~trials:40 in
+  let pw = Verify.profile ~cfg:(Verify.config ~rng:r ~trials:40 ()) weak ~mode:Fault.VFT ~f:2 in
   checkb "non-FT spanner degrades" true
     (pw.Verify.worst > p.Verify.worst || pw.Verify.disconnections > 0)
 
@@ -196,7 +196,7 @@ let test_verify_report_counts () =
   let r = rng () in
   let g = Generators.cycle 8 in
   let sel = Selection.full g in
-  let report = Verify.check_random r sel ~mode:Fault.VFT ~stretch:3.0 ~f:2 ~trials:17 in
+  let report = Verify.random ~cfg:(Verify.config ~rng:r ~trials:17 ()) sel ~mode:Fault.VFT ~stretch:3.0 ~f:2 in
   checki "trials counted" 17 report.Verify.checked
 
 (* ------------------------- Baswana-Sen ------------------------------ *)
@@ -206,7 +206,7 @@ let test_bs_is_spanner_unweighted () =
   for seed = 1 to 5 do
     let g = Generators.connected_gnp (Rng.create ~seed) ~n:60 ~p:0.2 in
     let sel = Baswana_sen.build r ~k:2 g in
-    let report = Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:0 in
+    let report = Verify.exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:0 in
     checkb "BS k=2 valid" true (Verify.ok report)
   done
 
@@ -216,7 +216,7 @@ let test_bs_is_spanner_weighted () =
     let base = Generators.connected_gnp (Rng.create ~seed) ~n:50 ~p:0.25 in
     let g = Generators.with_uniform_weights (Rng.create ~seed:(seed + 100)) base ~lo:0.1 ~hi:9.0 in
     let sel = Baswana_sen.build r ~k:3 g in
-    let report = Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 3) ~f:0 in
+    let report = Verify.exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 3) ~f:0 in
     checkb "BS k=3 weighted valid" true (Verify.ok report)
   done
 
@@ -279,14 +279,14 @@ let test_dk11_f0_single_spanner () =
   let r = rng () in
   let g = Generators.connected_gnp r ~n:40 ~p:0.3 in
   let sel = Dk11.build r ~mode:Fault.VFT ~k:2 ~f:0 g in
-  let report = Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:0 in
+  let report = Verify.exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:0 in
   checkb "valid" true (Verify.ok report)
 
 let test_dk11_vft_exhaustive_small () =
   let r = rng () in
   let g = Generators.complete 12 in
   let sel = Dk11.build r ~mode:Fault.VFT ~k:2 ~f:1 ~c:2.0 g in
-  let report = Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1 in
+  let report = Verify.exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1 in
   checkb "valid w.h.p." true (Verify.ok report)
 
 let test_dk11_vft_sampled_medium () =
@@ -294,7 +294,7 @@ let test_dk11_vft_sampled_medium () =
   let g = Generators.connected_gnp r ~n:60 ~p:0.25 in
   let sel = Dk11.build r ~mode:Fault.VFT ~k:2 ~f:2 ~c:1.5 g in
   let report =
-    Verify.check_adversarial r sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:2 ~trials:40
+    Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:40 ()) sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:2
   in
   checkb "valid on adversarial samples" true (Verify.ok report)
 
@@ -303,7 +303,7 @@ let test_dk11_eft_sampled () =
   let g = Generators.connected_gnp r ~n:40 ~p:0.3 in
   let sel = Dk11.build r ~mode:Fault.EFT ~k:2 ~f:2 ~c:1.5 g in
   let report =
-    Verify.check_adversarial r sel ~mode:Fault.EFT ~stretch:(stretch 2) ~f:2 ~trials:40
+    Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:40 ()) sel ~mode:Fault.EFT ~stretch:(stretch 2) ~f:2
   in
   checkb "EFT variant valid" true (Verify.ok report)
 
@@ -314,7 +314,7 @@ let test_dk11_custom_algo_plugged () =
   let algo _rng sub = Classic_greedy.build ~k:2 sub in
   let sel = Dk11.build r ~mode:Fault.VFT ~k:2 ~f:1 ~algo g in
   let report =
-    Verify.check_adversarial r sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1 ~trials:40
+    Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:40 ()) sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1
   in
   checkb "valid with plugged algo" true (Verify.ok report)
 
@@ -364,8 +364,8 @@ let test_facade_dispatch () =
     (fun algorithm ->
       let sel = Spanner.build ~rng:r ~algorithm params g in
       let report =
-        Verify.check_adversarial r sel ~mode:Fault.VFT
-          ~stretch:(Spanner.stretch params) ~f:1 ~trials:30
+        Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:30 ()) sel ~mode:Fault.VFT
+          ~stretch:(Spanner.stretch params) ~f:1
       in
       checkb (Spanner.algorithm_name algorithm) true (Verify.ok report))
     Spanner.all_algorithms

@@ -184,15 +184,15 @@ let test_local_spanner_valid_sampled () =
   let g = Generators.connected_gnp r ~n:50 ~p:0.12 in
   let res = Local_spanner.build r ~mode:Fault.VFT ~k:2 ~f:2 g in
   let report =
-    Verify.check_adversarial r res.Local_spanner.selection ~mode:Fault.VFT
-      ~stretch:(stretch 2) ~f:2 ~trials:40
+    Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:40 ()) res.Local_spanner.selection ~mode:Fault.VFT
+      ~stretch:(stretch 2) ~f:2
   in
   (match report.Verify.violation with
   | None -> ()
   | Some v -> Alcotest.failf "local: %s" (Format.asprintf "%a" Verify.pp_violation v));
   let report2 =
-    Verify.check_random r res.Local_spanner.selection ~mode:Fault.VFT
-      ~stretch:(stretch 2) ~f:2 ~trials:40
+    Verify.random ~cfg:(Verify.config ~rng:r ~trials:40 ()) res.Local_spanner.selection ~mode:Fault.VFT
+      ~stretch:(stretch 2) ~f:2
   in
   checkb "random faults ok" true (Verify.ok report2)
 
@@ -204,8 +204,8 @@ let test_local_spanner_exponential_engine () =
       ~f:1 g
   in
   let report =
-    Verify.check_adversarial r res.Local_spanner.selection ~mode:Fault.VFT
-      ~stretch:(stretch 2) ~f:1 ~trials:40
+    Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:40 ()) res.Local_spanner.selection ~mode:Fault.VFT
+      ~stretch:(stretch 2) ~f:1
   in
   checkb "exact engine valid" true (Verify.ok report)
 
@@ -214,8 +214,8 @@ let test_local_spanner_eft () =
   let g = Generators.connected_gnp r ~n:40 ~p:0.15 in
   let res = Local_spanner.build r ~mode:Fault.EFT ~k:2 ~f:1 g in
   let report =
-    Verify.check_adversarial r res.Local_spanner.selection ~mode:Fault.EFT
-      ~stretch:(stretch 2) ~f:1 ~trials:40
+    Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:40 ()) res.Local_spanner.selection ~mode:Fault.EFT
+      ~stretch:(stretch 2) ~f:1
   in
   checkb "EFT valid" true (Verify.ok report)
 
@@ -248,7 +248,7 @@ let test_congest_bs_valid () =
     let g = Generators.connected_gnp (Rng.create ~seed) ~n:45 ~p:0.2 in
     let res = Congest_bs.build r ~k:2 g in
     let report =
-      Verify.check_exhaustive res.Congest_bs.selection ~mode:Fault.VFT
+      Verify.exhaustive res.Congest_bs.selection ~mode:Fault.VFT
         ~stretch:(stretch 2) ~f:0
     in
     match report.Verify.violation with
@@ -262,7 +262,7 @@ let test_congest_bs_weighted_valid () =
   let g = Generators.with_uniform_weights r base ~lo:0.2 ~hi:7.0 in
   let res = Congest_bs.build r ~k:3 g in
   let report =
-    Verify.check_exhaustive res.Congest_bs.selection ~mode:Fault.VFT
+    Verify.exhaustive res.Congest_bs.selection ~mode:Fault.VFT
       ~stretch:(stretch 3) ~f:0
   in
   checkb "weighted k=3 valid" true (Verify.ok report)
@@ -305,8 +305,8 @@ let test_congest_ft_valid_sampled () =
   let g = Generators.connected_gnp r ~n:36 ~p:0.2 in
   let res = Congest_ft.build r ~mode:Fault.VFT ~k:2 ~f:1 g in
   let report =
-    Verify.check_adversarial r res.Congest_ft.selection ~mode:Fault.VFT
-      ~stretch:(stretch 2) ~f:1 ~trials:40
+    Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:40 ()) res.Congest_ft.selection ~mode:Fault.VFT
+      ~stretch:(stretch 2) ~f:1
   in
   (match report.Verify.violation with
   | None -> ()
@@ -318,8 +318,8 @@ let test_congest_ft_eft () =
   let g = Generators.connected_gnp r ~n:30 ~p:0.25 in
   let res = Congest_ft.build r ~mode:Fault.EFT ~k:2 ~f:1 g in
   let report =
-    Verify.check_adversarial r res.Congest_ft.selection ~mode:Fault.EFT
-      ~stretch:(stretch 2) ~f:1 ~trials:40
+    Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:40 ()) res.Congest_ft.selection ~mode:Fault.EFT
+      ~stretch:(stretch 2) ~f:1
   in
   checkb "EFT valid" true (Verify.ok report)
 
@@ -340,7 +340,7 @@ let test_congest_ft_f0_degenerates () =
   let res = Congest_ft.build r ~mode:Fault.VFT ~k:2 ~f:0 g in
   checki "one iteration" 1 res.Congest_ft.iterations;
   let report =
-    Verify.check_exhaustive res.Congest_ft.selection ~mode:Fault.VFT
+    Verify.exhaustive res.Congest_ft.selection ~mode:Fault.VFT
       ~stretch:(stretch 2) ~f:0
   in
   checkb "plain spanner" true (Verify.ok report)

@@ -1,0 +1,378 @@
+(* Tests for the Dynamic spanner service: the differential story (any op
+   sequence is equivalent to a fresh Spanner.build on the final graph, up
+   to the verified stretch bound), repair locality, the shed pass, the
+   batched query plane's determinism, and the handle's error surface. *)
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let stretch k = float_of_int ((2 * k) - 1)
+
+let dyn ?shed ?pool ~mode ~k ~f n =
+  Dynamic.create ~opts:(Dynamic.opts ~mode ~k ~f ?shed ?pool ()) (Graph.create n)
+
+let insert d u v = ignore (Dynamic.apply d [ Dynamic.Insert { u; v; w = 1.0 } ])
+
+(* ------------------------ unit helpers ------------------------------- *)
+
+let path_graph n =
+  let d = dyn ~mode:Fault.VFT ~k:2 ~f:1 n in
+  for v = 0 to n - 2 do
+    insert d v (v + 1)
+  done;
+  d
+
+let test_create_seeds_like_build () =
+  let r = Rng.create ~seed:11 in
+  let g = Generators.connected_gnp r ~n:30 ~p:0.3 in
+  let d = Dynamic.create ~opts:(Dynamic.opts ~mode:Fault.VFT ~k:2 ~f:1 ()) g in
+  let fresh =
+    Poly_greedy.build ~order:Poly_greedy.Input_order ~mode:Fault.VFT ~k:2 ~f:1 g
+  in
+  checki "seed spanner = fresh build" fresh.Selection.size (Dynamic.size d);
+  check (Alcotest.list Alcotest.int) "same selection" (Selection.ids fresh)
+    (Selection.ids (Dynamic.snapshot d));
+  checki "epoch starts at 0" 0 (Dynamic.epoch d);
+  checki "all edges live" (Graph.m g) (Dynamic.live_edges d)
+
+let test_delete_and_query () =
+  let d = path_graph 6 in
+  let q = Dynamic.query_batch d ~faults:(Fault.empty Fault.VFT) [| (0, 5) |] in
+  checki "path distance" 5 q.(0).Dynamic.hops;
+  let s = Dynamic.apply d [ Dynamic.Delete_edge { u = 2; v = 3 } ] in
+  checki "one edge deleted" 1 s.Dynamic.deleted_edges;
+  let q = Dynamic.query_batch d ~faults:(Fault.empty Fault.VFT) [| (0, 5) |] in
+  checkb "disconnected after cut" true (q.(0).Dynamic.distance = infinity);
+  checki "hops flag disconnection" (-1) q.(0).Dynamic.hops
+
+let test_delete_vertex_retires () =
+  let d = path_graph 5 in
+  let s = Dynamic.apply d [ Dynamic.Delete_vertex 2 ] in
+  checki "vertex deleted" 1 s.Dynamic.deleted_vertices;
+  checki "incident edges die with it" 2 s.Dynamic.deleted_edges;
+  (try
+     insert d 2 4;
+     Alcotest.fail "insert on retired vertex should fail"
+   with Invalid_argument _ -> ());
+  (* a retired endpoint answers as disconnected, not as an error *)
+  let q = Dynamic.query_batch d ~faults:(Fault.empty Fault.VFT) [| (2, 4) |] in
+  checkb "retired endpoint disconnected" true (q.(0).Dynamic.distance = infinity)
+
+let test_epoch_and_snapshot_cache () =
+  let d = path_graph 4 in
+  let e0 = Dynamic.epoch d in
+  let s1 = Dynamic.snapshot d in
+  let s2 = Dynamic.snapshot d in
+  checkb "snapshot cached per epoch" true (s1 == s2);
+  insert d 0 2;
+  checkb "mutating apply bumps epoch" true (Dynamic.epoch d > e0);
+  checkb "snapshot refreshed" true (Dynamic.snapshot d != s1);
+  (* no-op batch: no epoch bump *)
+  let e1 = Dynamic.epoch d in
+  ignore (Dynamic.apply d []);
+  checki "empty batch keeps epoch" e1 (Dynamic.epoch d)
+
+let test_error_surface () =
+  let d = path_graph 4 in
+  let expect_invalid label ops =
+    try
+      ignore (Dynamic.apply d ops);
+      Alcotest.failf "%s should raise" label
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "self loop" [ Dynamic.Insert { u = 1; v = 1; w = 1.0 } ];
+  expect_invalid "out of range" [ Dynamic.Insert { u = 0; v = 9; w = 1.0 } ];
+  expect_invalid "duplicate" [ Dynamic.Insert { u = 0; v = 1; w = 1.0 } ];
+  expect_invalid "bad weight" [ Dynamic.Insert { u = 0; v = 2; w = 0.0 } ];
+  expect_invalid "absent edge" [ Dynamic.Delete_edge { u = 0; v = 3 } ];
+  try
+    ignore (Dynamic.query_batch d ~faults:(Fault.empty Fault.VFT) [| (0, 99) |]);
+    Alcotest.fail "out-of-range query should raise"
+  with Invalid_argument _ -> ()
+
+(* ---------------------- repair locality ------------------------------ *)
+
+let test_repair_is_local_on_grid () =
+  (* On a sparse grid the 2k-1 = 3-hop neighborhood of one deleted edge
+     is a few dozen vertices; repair must not walk the whole graph. *)
+  let g = Generators.grid ~rows:20 ~cols:20 in
+  let d = Dynamic.create ~opts:(Dynamic.opts ~mode:Fault.VFT ~k:2 ~f:1 ()) g in
+  let sel = Dynamic.snapshot d in
+  let kept_id = List.hd (Selection.ids sel) in
+  let u, v = Graph.endpoints sel.Selection.source kept_id in
+  let s = Dynamic.apply d [ Dynamic.Delete_edge { u; v } ] in
+  checkb
+    (Printf.sprintf "touched %d << n=400" s.Dynamic.touched_vertices)
+    true
+    (s.Dynamic.touched_vertices > 0 && s.Dynamic.touched_vertices < 150)
+
+(* ------------------- differential vs fresh build --------------------- *)
+
+(* Scripted op soup over a base graph: delete a slice of edges (spanner
+   and non-spanner alike), retire a vertex, re-insert some deleted edges.
+   The surviving selection must verify to the same stretch bound a fresh
+   build on the final graph satisfies. *)
+let differential_case ~mode ~backend ~seed ~n ~p =
+  let r = Rng.create ~seed in
+  let g0 = Generators.connected_gnp r ~n ~p in
+  let g = Graph.create ~backend n in
+  Graph.iter_edges g0 (fun e ->
+      ignore (Graph.add_edge g e.Graph.u e.Graph.v ~w:e.Graph.w));
+  let k = 2 and f = 1 in
+  let d = Dynamic.create ~opts:(Dynamic.opts ~mode ~k ~f ()) g in
+  (* delete every 5th edge, arbitrary order *)
+  let doomed = ref [] in
+  Graph.iter_edges g (fun e -> if e.Graph.id mod 5 = 0 then doomed := e :: !doomed);
+  List.iter
+    (fun e ->
+      ignore
+        (Dynamic.apply d [ Dynamic.Delete_edge { u = e.Graph.u; v = e.Graph.v } ]))
+    !doomed;
+  (* retire one vertex *)
+  let victim = n - 1 in
+  ignore (Dynamic.apply d [ Dynamic.Delete_vertex victim ]);
+  (* re-insert half of the deleted edges (skip the retired vertex) *)
+  List.iteri
+    (fun i e ->
+      if i mod 2 = 0 && e.Graph.u <> victim && e.Graph.v <> victim then
+        insert d e.Graph.u e.Graph.v)
+    !doomed;
+  let sel = Dynamic.snapshot d in
+  (* the maintained selection is a valid f-FT (2k-1)-spanner of the live
+     graph — the same bound a fresh build satisfies *)
+  let report = Verify.exhaustive sel ~mode ~stretch:(stretch k) ~f in
+  (match report.Verify.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "dynamic selection violated: %s"
+        (Format.asprintf "%a" Verify.pp_violation v));
+  let fresh = Spanner.build { Spanner.k; f; mode } sel.Selection.source in
+  let freshr = Verify.exhaustive fresh ~mode ~stretch:(stretch k) ~f in
+  checkb "fresh build verifies too" true (Verify.ok freshr)
+
+let test_differential_vft_int () =
+  differential_case ~mode:Fault.VFT ~backend:Csr.Int_array ~seed:21 ~n:14 ~p:0.35
+
+let test_differential_vft_int32 () =
+  differential_case ~mode:Fault.VFT ~backend:Csr.Int32_bigarray ~seed:22 ~n:14
+    ~p:0.35
+
+let test_differential_eft_int () =
+  differential_case ~mode:Fault.EFT ~backend:Csr.Int_array ~seed:23 ~n:12 ~p:0.4
+
+let test_differential_eft_int32 () =
+  differential_case ~mode:Fault.EFT ~backend:Csr.Int32_bigarray ~seed:24 ~n:12
+    ~p:0.4
+
+let arb_ops =
+  (* (seed, n, ops): a random interleaved op script over an initially
+     empty graph; ops reference only vertices < n and are repaired into
+     validity during execution (inserts of existing edges and deletes of
+     absent ones are skipped). *)
+  QCheck.make
+    ~print:(fun (seed, n, ops) ->
+      Printf.sprintf "(seed=%d, n=%d, %d ops)" seed n (List.length ops))
+    QCheck.Gen.(
+      triple (int_range 1 1000) (int_range 6 13)
+        (list_size (int_range 10 60) (triple (int_range 0 2) small_nat small_nat)))
+
+let run_random_script ~mode (seed, n, ops) =
+  let d = dyn ~mode ~k:2 ~f:1 n in
+  let retired = Array.make n false in
+  let live = Hashtbl.create 16 in
+  let keyp u v = (min u v, max u v) in
+  let rng = Rng.create ~seed in
+  List.iter
+    (fun (kind, a, b) ->
+      let u = a mod n and v = b mod n in
+      if u <> v && (not retired.(u)) && not retired.(v) then
+        match kind with
+        | 0 ->
+            if not (Hashtbl.mem live (keyp u v)) then begin
+              Hashtbl.replace live (keyp u v) ();
+              insert d u v
+            end
+        | 1 ->
+            if Hashtbl.mem live (keyp u v) then begin
+              Hashtbl.remove live (keyp u v);
+              ignore (Dynamic.apply d [ Dynamic.Delete_edge { u; v } ])
+            end
+        | _ ->
+            (* occasionally retire a vertex (low probability) *)
+            if Rng.int rng 10 = 0 then begin
+              retired.(u) <- true;
+              Hashtbl.reset live;
+              (* recompute the live set from the handle *)
+              let src = (Dynamic.snapshot d).Selection.source in
+              ignore (Dynamic.apply d [ Dynamic.Delete_vertex u ]);
+              Graph.iter_edges src (fun e ->
+                  if e.Graph.u <> u && e.Graph.v <> u then
+                    Hashtbl.replace live (keyp e.Graph.u e.Graph.v) ())
+            end)
+    ops;
+  d
+
+let prop_random_scripts mode name =
+  QCheck.Test.make ~count:40 ~name arb_ops (fun case ->
+      let d = run_random_script ~mode case in
+      let sel = Dynamic.snapshot d in
+      Verify.ok (Verify.exhaustive sel ~mode ~stretch:3.0 ~f:1))
+
+let prop_random_scripts_vft =
+  prop_random_scripts Fault.VFT "dynamic: random op scripts stay valid (VFT)"
+
+let prop_random_scripts_eft =
+  prop_random_scripts Fault.EFT "dynamic: random op scripts stay valid (EFT)"
+
+let prop_shed_keeps_validity =
+  (* with the shed pass disabled the selection is still valid, and the
+     shed selection is never larger *)
+  QCheck.Test.make ~count:25 ~name:"dynamic: shed pass sound and never grows"
+    arb_ops (fun (seed, n, ops) ->
+      let replay shed =
+        let d = dyn ~shed ~mode:Fault.VFT ~k:2 ~f:1 n in
+        let live = Hashtbl.create 16 in
+        let keyp u v = (min u v, max u v) in
+        List.iter
+          (fun (kind, a, b) ->
+            let u = a mod n and v = b mod n in
+            if u <> v then
+              match kind with
+              | 0 | 2 ->
+                  if not (Hashtbl.mem live (keyp u v)) then begin
+                    Hashtbl.replace live (keyp u v) ();
+                    insert d u v
+                  end
+              | _ ->
+                  if Hashtbl.mem live (keyp u v) then begin
+                    Hashtbl.remove live (keyp u v);
+                    ignore (Dynamic.apply d [ Dynamic.Delete_edge { u; v } ])
+                  end)
+          ops;
+        d
+      in
+      let with_shed = replay true and without = replay false in
+      ignore seed;
+      Dynamic.size with_shed <= Dynamic.size without
+      && Verify.ok
+           (Verify.exhaustive (Dynamic.snapshot with_shed) ~mode:Fault.VFT
+              ~stretch:3.0 ~f:1))
+
+(* ---------------------- query-plane determinism ---------------------- *)
+
+let test_query_batch_deterministic_across_jobs () =
+  let r = Rng.create ~seed:31 in
+  let g = Generators.connected_gnp r ~n:60 ~p:0.12 in
+  let mk pool =
+    let d = Dynamic.create ~opts:(Dynamic.opts ~mode:Fault.VFT ~k:2 ~f:1 ?pool ()) g in
+    ignore (Dynamic.apply d [ Dynamic.Delete_vertex 3 ]);
+    d
+  in
+  let pairs =
+    Array.init 40 (fun i -> (i mod 60, (7 * i + 13) mod 60))
+  in
+  let faults = Fault.of_vertices [ 5; 17 ] in
+  let answers pool = Dynamic.query_batch (mk pool) ~faults pairs in
+  let seq = answers None in
+  List.iter
+    (fun domains ->
+      Exec.Pool.with_pool ~domains @@ fun pool ->
+      let par = answers (Some pool) in
+      checkb
+        (Printf.sprintf "jobs=%d identical" domains)
+        true (par = seq))
+    [ 2; 4 ]
+
+let test_query_batch_matches_reference_distances () =
+  let r = Rng.create ~seed:32 in
+  let g = Generators.connected_gnp r ~n:30 ~p:0.25 in
+  let d = Dynamic.create ~opts:(Dynamic.opts ~mode:Fault.VFT ~k:2 ~f:1 ()) g in
+  let sel = Dynamic.snapshot d in
+  let faults = Fault.of_vertices [ 2 ] in
+  let bv, _ = Fault.masks sel.Selection.source faults in
+  let blocked = Selection.blocked_edges sel [] in
+  let pairs = [| (0, 1); (5, 20); (11, 29) |] in
+  let res = Dynamic.query_batch d ~faults pairs in
+  Array.iteri
+    (fun i (u, v) ->
+      let dist =
+        Bfs.distances ?blocked_vertices:bv ~blocked_edges:blocked
+          sel.Selection.source u
+      in
+      let expect = if dist.(v) < 0 then infinity else float_of_int dist.(v) in
+      checkb
+        (Printf.sprintf "query %d matches spanner BFS" i)
+        true
+        (res.(i).Dynamic.distance = expect))
+    pairs
+
+(* the spanner distance respects the FT stretch bound under f faults *)
+let test_query_respects_stretch_bound () =
+  let r = Rng.create ~seed:33 in
+  let g = Generators.connected_gnp r ~n:40 ~p:0.2 in
+  let d = Dynamic.create ~opts:(Dynamic.opts ~mode:Fault.VFT ~k:2 ~f:1 ()) g in
+  let sel = Dynamic.snapshot d in
+  let faults = Fault.of_vertices [ 7 ] in
+  let bv, _ = Fault.masks sel.Selection.source faults in
+  let ok = ref true in
+  for u = 0 to 19 do
+    let d_g = Bfs.distances ?blocked_vertices:bv sel.Selection.source u in
+    let res =
+      Dynamic.query_batch d ~faults (Array.init 40 (fun v -> (u, v)))
+    in
+    Array.iteri
+      (fun v r ->
+        if v <> u && u <> 7 && v <> 7 && d_g.(v) >= 0 then
+          if r.Dynamic.distance > (3.0 *. float_of_int d_g.(v)) +. 1e-9 then
+            ok := false)
+      res
+  done;
+  checkb "all faulted distances within 3x" true !ok
+
+(* ------------------------- alias equivalence ------------------------- *)
+
+let test_incremental_alias_equivalence () =
+  let r = Rng.create ~seed:34 in
+  let g = Generators.connected_gnp r ~n:25 ~p:0.3 in
+  let inc = (Incremental.create [@alert "-deprecated"]) ~mode:Fault.VFT ~k:2 ~f:1 ~n:25 in
+  let d = dyn ~mode:Fault.VFT ~k:2 ~f:1 25 in
+  Graph.iter_edges g (fun e ->
+      let a = (Incremental.insert [@alert "-deprecated"]) inc e.Graph.u e.Graph.v ~w:e.Graph.w in
+      let s = Dynamic.apply d [ Dynamic.Insert { u = e.Graph.u; v = e.Graph.v; w = e.Graph.w } ] in
+      checkb "per-edge verdicts agree" a (s.Dynamic.kept = 1));
+  checki "sizes agree" (Dynamic.size d) ((Incremental.size [@alert "-deprecated"]) inc)
+
+let () =
+  Alcotest.run "dynamic"
+    [
+      ( "handle",
+        [
+          Alcotest.test_case "create seeds like build" `Quick test_create_seeds_like_build;
+          Alcotest.test_case "delete and query" `Quick test_delete_and_query;
+          Alcotest.test_case "delete vertex" `Quick test_delete_vertex_retires;
+          Alcotest.test_case "epoch and snapshot" `Quick test_epoch_and_snapshot_cache;
+          Alcotest.test_case "error surface" `Quick test_error_surface;
+          Alcotest.test_case "alias equivalence" `Quick test_incremental_alias_equivalence;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "locality on grid" `Quick test_repair_is_local_on_grid;
+          Alcotest.test_case "differential VFT int" `Quick test_differential_vft_int;
+          Alcotest.test_case "differential VFT int32" `Quick test_differential_vft_int32;
+          Alcotest.test_case "differential EFT int" `Quick test_differential_eft_int;
+          Alcotest.test_case "differential EFT int32" `Quick test_differential_eft_int32;
+        ] );
+      ( "random scripts",
+        [
+          QCheck_alcotest.to_alcotest prop_random_scripts_vft;
+          QCheck_alcotest.to_alcotest prop_random_scripts_eft;
+          QCheck_alcotest.to_alcotest prop_shed_keeps_validity;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "jobs determinism" `Quick test_query_batch_deterministic_across_jobs;
+          Alcotest.test_case "reference distances" `Quick test_query_batch_matches_reference_distances;
+          Alcotest.test_case "stretch bound" `Quick test_query_respects_stretch_bound;
+        ] );
+    ]

@@ -194,9 +194,13 @@ let test_verify_batteries_deterministic () =
   let sel = Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:2 g in
   let run ?pool () =
     let rv = Rng.create ~seed:77 in
-    let a = Verify.check_adversarial ?pool rv sel ~mode:Fault.VFT ~stretch:3.0 ~f:2 ~trials:40 in
-    let b = Verify.check_random ?pool rv sel ~mode:Fault.VFT ~stretch:3.0 ~f:2 ~trials:40 in
-    let p = Verify.stretch_profile ?pool rv sel ~mode:Fault.VFT ~f:2 ~trials:20 in
+    let cfg = Verify.config ?pool ~rng:rv ~trials:40 () in
+    let a = Verify.adversarial ~cfg sel ~mode:Fault.VFT ~stretch:3.0 ~f:2 in
+    let b = Verify.random ~cfg sel ~mode:Fault.VFT ~stretch:3.0 ~f:2 in
+    let p =
+      Verify.profile ~cfg:(Verify.config ?pool ~rng:rv ~trials:20 ()) sel
+        ~mode:Fault.VFT ~f:2
+    in
     (a, b, p)
   in
   let seq = run () in

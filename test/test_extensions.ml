@@ -17,7 +17,7 @@ let test_tz_is_spanner_unweighted () =
   for seed = 1 to 6 do
     let g = Generators.connected_gnp (Rng.create ~seed) ~n:50 ~p:0.2 in
     let sel = Thorup_zwick.build r ~k:2 g in
-    let report = Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:0 in
+    let report = Verify.exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:0 in
     match report.Verify.violation with
     | None -> ()
     | Some v -> Alcotest.failf "tz: %s" (Format.asprintf "%a" Verify.pp_violation v)
@@ -29,7 +29,7 @@ let test_tz_is_spanner_weighted () =
     let base = Generators.connected_gnp (Rng.create ~seed) ~n:40 ~p:0.25 in
     let g = Generators.with_uniform_weights (Rng.create ~seed:(seed * 7)) base ~lo:0.1 ~hi:10. in
     let sel = Thorup_zwick.build r ~k:3 g in
-    let report = Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 3) ~f:0 in
+    let report = Verify.exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 3) ~f:0 in
     checkb "tz k=3 weighted valid" true (Verify.ok report)
   done
 
@@ -68,7 +68,8 @@ let test_tz_inside_dk11 () =
   let algo rng sub = Thorup_zwick.build rng ~k:2 sub in
   let sel = Dk11.build r ~mode:Fault.VFT ~k:2 ~f:1 ~algo g in
   let report =
-    Verify.check_adversarial r sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1 ~trials:40
+    Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:40 ()) sel
+      ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1
   in
   checkb "dk11 over TZ valid" true (Verify.ok report)
 
@@ -209,7 +210,8 @@ let test_lower_bound_exp_greedy_agrees () =
      exhaustive verification that dropping any edge breaks it *)
   let full = Selection.full g in
   let report =
-    Verify.check_random (rng ()) full ~mode:Fault.VFT ~stretch:3.0 ~f:2 ~trials:20
+    Verify.random ~cfg:(Verify.config ~rng:(rng ()) ~trials:20 ()) full
+      ~mode:Fault.VFT ~stretch:3.0 ~f:2
   in
   checkb "full graph trivially valid" true (Verify.ok report)
 
@@ -224,7 +226,7 @@ let test_prune_output_still_valid () =
     checki "size accounting" (sel.Selection.size - res.Prune.removed)
       res.Prune.pruned.Selection.size;
     let report =
-      Verify.check_exhaustive res.Prune.pruned ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1
+      Verify.exhaustive res.Prune.pruned ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1
     in
     checkb "pruned spanner still valid" true (Verify.ok report)
   done
@@ -236,7 +238,7 @@ let test_prune_weighted_still_valid () =
   let sel = Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 g in
   let res = Prune.minimalize ~mode:Fault.VFT ~k:2 ~f:1 sel in
   let report =
-    Verify.check_exhaustive res.Prune.pruned ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1
+    Verify.exhaustive res.Prune.pruned ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1
   in
   checkb "weighted pruned valid" true (Verify.ok report)
 
@@ -281,7 +283,7 @@ let test_batch_valid_at_any_batch_size () =
     (fun batch ->
       let bat = Batch_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 ~batch g in
       let report =
-        Verify.check_exhaustive bat.Batch_greedy.selection ~mode:Fault.VFT
+        Verify.exhaustive bat.Batch_greedy.selection ~mode:Fault.VFT
           ~stretch:(stretch 2) ~f:1
       in
       checkb (Printf.sprintf "batch=%d valid" batch) true (Verify.ok report))
@@ -305,7 +307,7 @@ let test_batch_weighted_valid () =
   let g = Generators.with_uniform_weights r g0 ~lo:1.0 ~hi:6.0 in
   let bat = Batch_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 ~batch:8 g in
   let report =
-    Verify.check_exhaustive bat.Batch_greedy.selection ~mode:Fault.VFT
+    Verify.exhaustive bat.Batch_greedy.selection ~mode:Fault.VFT
       ~stretch:(stretch 2) ~f:1
   in
   checkb "weighted batched valid" true (Verify.ok report)
@@ -326,19 +328,23 @@ let test_batch_parallel_matches_sequential () =
         (Selection.ids par.Batch_greedy.selection))
     [ (8, 2); (64, 3); (1000, 4) ]
 
-(* The deprecated per-call-spawn wrapper must keep compiling and keep
-   producing the sequential selection until it is removed. *)
-let test_batch_parallel_deprecated_wrapper () =
+(* The per-call-spawn [build_parallel] wrapper is gone; the facade's
+   [Spanner.options ?pool ?batch] is the supported route to the batched
+   parallel build and must keep producing the sequential selection. *)
+let test_batch_parallel_via_facade () =
   let r = rng () in
   let g = Generators.connected_gnp r ~n:40 ~p:0.3 in
   let seq = Batch_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 ~batch:16 g in
   let par =
-    (Batch_greedy.build_parallel [@alert "-deprecated"])
-      ~mode:Fault.VFT ~k:2 ~f:1 ~batch:16 ~domains:2 g
+    Exec.Pool.with_pool ~domains:2 (fun pool ->
+        Spanner.build
+          ~options:(Spanner.options ~batch:16 ~pool ())
+          { Spanner.k = 2; f = 1; mode = Fault.VFT }
+          g)
   in
-  check (Alcotest.list Alcotest.int) "deprecated wrapper matches"
+  check (Alcotest.list Alcotest.int) "facade route matches"
     (Selection.ids seq.Batch_greedy.selection)
-    (Selection.ids par.Batch_greedy.selection)
+    (Selection.ids par)
 
 let test_batch_rejects_bad_batch () =
   let g = Generators.cycle 4 in
@@ -392,7 +398,7 @@ let () =
           Alcotest.test_case "size monotone" `Quick test_batch_size_monotone_tendency;
           Alcotest.test_case "weighted valid" `Quick test_batch_weighted_valid;
           Alcotest.test_case "parallel = sequential" `Quick test_batch_parallel_matches_sequential;
-          Alcotest.test_case "deprecated wrapper" `Quick test_batch_parallel_deprecated_wrapper;
+          Alcotest.test_case "facade pool route" `Quick test_batch_parallel_via_facade;
           Alcotest.test_case "bad batch" `Quick test_batch_rejects_bad_batch;
         ] );
     ]

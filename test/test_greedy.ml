@@ -13,16 +13,16 @@ let rng () = Rng.create ~seed:99
 let stretch k = float_of_int ((2 * k) - 1)
 
 let assert_ft_spanner_exhaustive ?(max_sets = 2e6) sel ~mode ~k ~f label =
-  let report = Verify.check_exhaustive ~max_sets sel ~mode ~stretch:(stretch k) ~f in
+  let report = Verify.exhaustive ~cfg:(Verify.config ~max_sets ()) sel ~mode ~stretch:(stretch k) ~f in
   match report.Verify.violation with
   | None -> ()
   | Some v ->
       Alcotest.failf "%s: %s" label (Format.asprintf "%a" Verify.pp_violation v)
 
 let assert_ft_spanner_sampled sel ~mode ~k ~f label =
-  let r = rng () in
-  let a = Verify.check_random r sel ~mode ~stretch:(stretch k) ~f ~trials:60 in
-  let b = Verify.check_adversarial r sel ~mode ~stretch:(stretch k) ~f ~trials:60 in
+  let cfg = Verify.config ~rng:(rng ()) ~trials:60 () in
+  let a = Verify.random ~cfg sel ~mode ~stretch:(stretch k) ~f in
+  let b = Verify.adversarial ~cfg sel ~mode ~stretch:(stretch k) ~f in
   (match a.Verify.violation with
   | None -> ()
   | Some v -> Alcotest.failf "%s random: %s" label (Format.asprintf "%a" Verify.pp_violation v));

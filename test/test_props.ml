@@ -108,9 +108,9 @@ let prop_poly_greedy_spanner_under_random_faults =
       let g = graph_of desc in
       let sel = Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 g in
       let r = seeded_rng 5 in
-      Verify.ok (Verify.check_random r sel ~mode:Fault.VFT ~stretch:3.0 ~f:1 ~trials:20)
+      Verify.ok (Verify.random ~cfg:(Verify.config ~rng:r ~trials:20 ()) sel ~mode:Fault.VFT ~stretch:3.0 ~f:1)
       && Verify.ok
-           (Verify.check_adversarial r sel ~mode:Fault.VFT ~stretch:3.0 ~f:1 ~trials:20))
+           (Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:20 ()) sel ~mode:Fault.VFT ~stretch:3.0 ~f:1))
 
 let prop_poly_greedy_exhaustive_f1 =
   QCheck.Test.make ~count:12 ~name:"poly greedy: exhaustive f=1 VFT"
@@ -118,7 +118,7 @@ let prop_poly_greedy_exhaustive_f1 =
       let seed, n, p = desc in
       let g = graph_of (seed, min n 13, p) in
       let sel = Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 g in
-      Verify.ok (Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:3.0 ~f:1))
+      Verify.ok (Verify.exhaustive sel ~mode:Fault.VFT ~stretch:3.0 ~f:1))
 
 let prop_poly_greedy_weighted_exhaustive =
   QCheck.Test.make ~count:10 ~name:"poly greedy: weighted exhaustive f=1 (Thm 10)"
@@ -126,7 +126,7 @@ let prop_poly_greedy_weighted_exhaustive =
       let seed, n, p = desc in
       let g = weighted_graph_of (seed, min n 12, p) in
       let sel = Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 g in
-      Verify.ok (Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:3.0 ~f:1))
+      Verify.ok (Verify.exhaustive sel ~mode:Fault.VFT ~stretch:3.0 ~f:1))
 
 let prop_poly_greedy_eft_exhaustive =
   QCheck.Test.make ~count:8 ~name:"poly greedy: exhaustive f=1 EFT" arb_graph_desc
@@ -135,7 +135,7 @@ let prop_poly_greedy_eft_exhaustive =
       let g = graph_of (seed, min n 11, p) in
       let sel = Poly_greedy.build ~mode:Fault.EFT ~k:2 ~f:1 g in
       Verify.ok
-        (Verify.check_exhaustive ~max_sets:1e5 sel ~mode:Fault.EFT ~stretch:3.0 ~f:1))
+        (Verify.exhaustive ~cfg:(Verify.config ~max_sets:1e5 ()) sel ~mode:Fault.EFT ~stretch:3.0 ~f:1))
 
 let prop_classic_greedy_girth =
   QCheck.Test.make ~count:30 ~name:"classic greedy: girth > 2k" arb_graph_desc
@@ -154,7 +154,7 @@ let prop_exp_greedy_subset_check =
       let seed, n, p = desc in
       let g = graph_of (seed, min n 11, p) in
       let sel = Exp_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 g in
-      Verify.ok (Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:3.0 ~f:1))
+      Verify.ok (Verify.exhaustive sel ~mode:Fault.VFT ~stretch:3.0 ~f:1))
 
 let prop_greedy_poly_never_sparser_than_exp_intuition =
   QCheck.Test.make ~count:12
@@ -176,7 +176,7 @@ let prop_baswana_sen_valid =
       let g = weighted_graph_of desc in
       let sel = Baswana_sen.build (seeded_rng 11) ~k g in
       Verify.ok
-        (Verify.check_exhaustive sel ~mode:Fault.VFT
+        (Verify.exhaustive sel ~mode:Fault.VFT
            ~stretch:(float_of_int ((2 * k) - 1))
            ~f:0))
 
@@ -230,8 +230,8 @@ let prop_verify_full_graph_is_1_spanner =
       let g = weighted_graph_of desc in
       let sel = Selection.full g in
       let r = seeded_rng 3 in
-      Verify.ok (Verify.check_random r sel ~mode:Fault.VFT ~stretch:1.0 ~f:2 ~trials:15)
-      && Verify.ok (Verify.check_random r sel ~mode:Fault.EFT ~stretch:1.0 ~f:2 ~trials:15))
+      Verify.ok (Verify.random ~cfg:(Verify.config ~rng:r ~trials:15 ()) sel ~mode:Fault.VFT ~stretch:1.0 ~f:2)
+      && Verify.ok (Verify.random ~cfg:(Verify.config ~rng:r ~trials:15 ()) sel ~mode:Fault.EFT ~stretch:1.0 ~f:2))
 
 let prop_girth_consistency =
   QCheck.Test.make ~count:40 ~name:"girth: girth_exceeds consistent with girth"
@@ -264,8 +264,8 @@ let prop_local_spanner_valid =
       let r = seeded_rng (seed + 1) in
       let res = Local_spanner.build r ~mode:Fault.VFT ~k:2 ~f:1 g in
       Verify.ok
-        (Verify.check_adversarial r res.Local_spanner.selection ~mode:Fault.VFT
-           ~stretch:3.0 ~f:1 ~trials:15))
+        (Verify.adversarial ~cfg:(Verify.config ~rng:r ~trials:15 ()) res.Local_spanner.selection ~mode:Fault.VFT
+           ~stretch:3.0 ~f:1))
 
 let prop_congest_bs_valid =
   QCheck.Test.make ~count:10 ~name:"congest baswana-sen: always a (2k-1)-spanner"
@@ -273,7 +273,7 @@ let prop_congest_bs_valid =
       let g = weighted_graph_of desc in
       let res = Congest_bs.build (seeded_rng 13) ~k:2 g in
       Verify.ok
-        (Verify.check_exhaustive res.Congest_bs.selection ~mode:Fault.VFT
+        (Verify.exhaustive res.Congest_bs.selection ~mode:Fault.VFT
            ~stretch:3.0 ~f:0))
 
 let prop_oracle_stretch =
@@ -296,20 +296,26 @@ let prop_oracle_stretch =
       !ok)
 
 let prop_incremental_equals_offline =
-  QCheck.Test.make ~count:20 ~name:"incremental: stream = offline input order"
+  QCheck.Test.make ~count:20 ~name:"dynamic: stream = offline input order"
     arb_graph_desc (fun desc ->
       let g = graph_of desc in
-      let inc = Incremental.create ~mode:Fault.VFT ~k:2 ~f:1 ~n:(Graph.n g) in
+      let d =
+        Dynamic.create
+          ~opts:(Dynamic.opts ~mode:Fault.VFT ~k:2 ~f:1 ())
+          (Graph.create (Graph.n g))
+      in
       Graph.iter_edges g (fun e ->
-          ignore (Incremental.insert inc e.Graph.u e.Graph.v ~w:e.Graph.w));
+          ignore
+            (Dynamic.apply d
+               [ Dynamic.Insert { u = e.Graph.u; v = e.Graph.v; w = e.Graph.w } ]));
       let offline =
         Poly_greedy.build ~order:Poly_greedy.Input_order ~mode:Fault.VFT ~k:2
           ~f:1 g
       in
-      Selection.ids (Incremental.snapshot inc) = Selection.ids offline)
+      Selection.ids (Dynamic.snapshot d) = Selection.ids offline)
 
 (* The differential check against the facade: streaming a nondecreasing-
-   weight edge sequence through [Incremental.insert] must reproduce
+   weight edge sequence through [Dynamic.apply] must reproduce
    [Spanner.build] (default algorithm + order = greedy by weight) on the
    final graph, even when the final graph lists its edges in a different
    order.  Distinct weights make the by-weight order a strict total order,
@@ -317,7 +323,7 @@ let prop_incremental_equals_offline =
    different [Graph.t] values, so we compare canonical endpoint sets. *)
 let prop_incremental_sorted_equals_spanner_build =
   QCheck.Test.make ~count:12
-    ~name:"incremental: sorted stream = Spanner.build on final graph"
+    ~name:"dynamic: sorted stream = Spanner.build on final graph"
     (QCheck.pair arb_graph_desc
        (QCheck.make
           ~print:(fun (k, f, eft) ->
@@ -339,13 +345,16 @@ let prop_incremental_sorted_equals_spanner_build =
           (Array.to_list (Array.mapi (fun i (u, v) -> (u, v, weights.(i))) edges))
       in
       let offline = Spanner.build { Spanner.k; f; mode } final in
-      let inc = Incremental.create ~mode ~k ~f ~n:(Graph.n g0) in
+      let d =
+        Dynamic.create ~opts:(Dynamic.opts ~mode ~k ~f ())
+          (Graph.create (Graph.n g0))
+      in
       let order = Array.init m (fun i -> i) in
       Array.sort (fun a b -> compare weights.(a) weights.(b)) order;
       Array.iter
         (fun i ->
           let u, v = edges.(i) in
-          ignore (Incremental.insert inc u v ~w:weights.(i)))
+          ignore (Dynamic.apply d [ Dynamic.Insert { u; v; w = weights.(i) } ]))
         order;
       let canon sel =
         List.sort compare
@@ -355,7 +364,7 @@ let prop_incremental_sorted_equals_spanner_build =
                (min u v, max u v))
              (Selection.ids sel))
       in
-      canon (Incremental.snapshot inc) = canon offline)
+      canon (Dynamic.snapshot d) = canon offline)
 
 let prop_blocking_certificates =
   QCheck.Test.make ~count:15 ~name:"blocking: greedy certificates block all short cycles"
@@ -379,7 +388,7 @@ let prop_batch_greedy_valid_any_batch =
       let g = graph_of (seed, min n 12, p) in
       let res = Batch_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 ~batch g in
       Verify.ok
-        (Verify.check_exhaustive res.Batch_greedy.selection ~mode:Fault.VFT
+        (Verify.exhaustive res.Batch_greedy.selection ~mode:Fault.VFT
            ~stretch:3.0 ~f:1))
 
 let prop_synchronizer_completes =

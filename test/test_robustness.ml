@@ -25,7 +25,7 @@ let test_empty_graph_everywhere () =
   checki "thorup-zwick" 0 (Thorup_zwick.build (rng ()) ~k:2 g).Selection.size;
   checki "dk11" 0 (Dk11.build (rng ()) ~mode:Fault.VFT ~k:2 ~f:1 g).Selection.size;
   let report =
-    Verify.check_exhaustive (Selection.full g) ~mode:Fault.VFT ~stretch:3.0 ~f:1
+    Verify.exhaustive (Selection.full g) ~mode:Fault.VFT ~stretch:3.0 ~f:1
   in
   checkb "verify" true (Verify.ok report)
 
@@ -42,7 +42,7 @@ let test_disconnected_all_builders () =
   List.iter
     (fun (name, sel) ->
       let report =
-        Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1
+        Verify.exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:1
       in
       checkb name true (Verify.ok report))
     [
@@ -54,7 +54,7 @@ let test_disconnected_all_builders () =
   List.iter
     (fun (name, sel) ->
       let report =
-        Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:0
+        Verify.exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:0
       in
       checkb name true (Verify.ok report))
     [
@@ -69,12 +69,12 @@ let test_disconnected_distributed () =
   let local = Local_spanner.build r ~mode:Fault.VFT ~k:2 ~f:1 g in
   checkb "local valid" true
     (Verify.ok
-       (Verify.check_exhaustive local.Local_spanner.selection ~mode:Fault.VFT
+       (Verify.exhaustive local.Local_spanner.selection ~mode:Fault.VFT
           ~stretch:(stretch 2) ~f:1));
   let congest = Congest_ft.build r ~c:1.0 ~mode:Fault.VFT ~k:2 ~f:1 g in
   checkb "congest valid" true
     (Verify.ok
-       (Verify.check_exhaustive congest.Congest_ft.selection ~mode:Fault.VFT
+       (Verify.exhaustive congest.Congest_ft.selection ~mode:Fault.VFT
           ~stretch:(stretch 2) ~f:1))
 
 let test_disconnected_oracle () =
@@ -92,7 +92,7 @@ let test_f_larger_than_graph () =
      pair can be isolated from all others). *)
   let sel = Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:50 g in
   checki "whole graph kept" (Graph.m g) sel.Selection.size;
-  let report = Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:4 in
+  let report = Verify.exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 2) ~f:4 in
   checkb "valid" true (Verify.ok report)
 
 let test_k_past_diameter () =
@@ -101,7 +101,7 @@ let test_k_past_diameter () =
   let g = Generators.complete 12 in
   let sel = Poly_greedy.build ~mode:Fault.VFT ~k:6 ~f:0 g in
   checkb "very sparse" true (sel.Selection.size <= 2 * 12);
-  let report = Verify.check_exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 6) ~f:0 in
+  let report = Verify.exhaustive sel ~mode:Fault.VFT ~stretch:(stretch 6) ~f:0 in
   checkb "valid" true (Verify.ok report)
 
 let test_k_equals_one_all_builders () =
@@ -133,7 +133,7 @@ let test_eft_star_graph () =
   let g = Graph.of_edges 6 [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5) ] in
   let sel = Poly_greedy.build ~mode:Fault.EFT ~k:2 ~f:2 g in
   checki "star kept whole" 5 sel.Selection.size;
-  let report = Verify.check_exhaustive sel ~mode:Fault.EFT ~stretch:(stretch 2) ~f:2 in
+  let report = Verify.exhaustive sel ~mode:Fault.EFT ~stretch:(stretch 2) ~f:2 in
   checkb "valid (disconnection matches source)" true (Verify.ok report)
 
 (* ------------------------ simulator boundaries ----------------------- *)

@@ -917,6 +917,74 @@ let greedy_parallel () =
     "  selection and lbc.*/batch_greedy.* counters are identical at every \
      jobs count; only wall time and the pool.* scheduling series move"
 
+(* The shard gate of the decomposition-sharding PR: Theorem 11 run
+   natively — padded partition, per-cluster greedy on the pool, union —
+   must stay a valid spanner within the O(log n) size factor of the
+   sequential build, with the cluster/boundary counters pinned by the
+   baseline (they are seed-deterministic, unlike wall time). *)
+let shard_build () =
+  let jobs = Exec.default_jobs () in
+  banner
+    (Printf.sprintf
+       "shard-build - decomposition-sharded greedy vs sequential on \
+        G(200, 0.08) (jobs=%d)"
+       jobs);
+  let rng = Rng.create ~seed in
+  let g = Generators.connected_gnp rng ~n:200 ~p:0.08 in
+  let seq, seq_dt =
+    time (fun () -> Poly_greedy.build ~mode:Fault.VFT ~k:2 ~f:1 g)
+  in
+  Exec.Pool.with_pool ~domains:jobs @@ fun pool ->
+  let res, dt =
+    time (fun () ->
+        Shard_build.build ~rng:(Rng.create ~seed) ~pool ~mode:Fault.VFT ~k:2
+          ~f:1 g)
+  in
+  let sel = res.Shard_build.selection in
+  let ok = verify_sampled ~trials:4 rng sel ~mode:Fault.VFT ~k:2 ~f:1 in
+  let inflation =
+    float_of_int sel.Selection.size /. float_of_int seq.Selection.size
+  in
+  let log2n = log (float_of_int (Graph.n g)) /. log 2. in
+  row "  sequential |H| = %d in %.3f s; sharded |H| = %d/%d in %.3f s"
+    seq.Selection.size seq_dt sel.Selection.size (Graph.m g) dt;
+  row "  %d clusters over %d partitions, %d boundary edges, coverage %.3f"
+    res.Shard_build.clusters
+    (Array.length res.Shard_build.partition.Shard_partition.partitions)
+    res.Shard_build.boundary_edges
+    (Shard_partition.coverage res.Shard_build.partition);
+  row "  size inflation %.2fx (log2 n = %.1f), valid spanner: %s" inflation
+    log2n
+    (verdict (ok && inflation <= log2n));
+  row
+    "  selection and shard.* counters are identical at every jobs count; \
+     only wall time and the pool.* scheduling series move"
+
+(* The other half of the same gate: DK11's independent iterations as
+   parallel_for work items over pre-split rng streams. *)
+let dk11_parallel () =
+  let jobs = Exec.default_jobs () in
+  banner
+    (Printf.sprintf
+       "dk11-parallel - DK11 iterations fanned out over the pool on \
+        G(120, 0.08) (jobs=%d)"
+       jobs);
+  let rng = Rng.create ~seed in
+  let g = Generators.connected_gnp rng ~n:120 ~p:0.08 in
+  Exec.Pool.with_pool ~domains:jobs @@ fun pool ->
+  let sel, dt =
+    time (fun () ->
+        Dk11.build (Rng.create ~seed) ~mode:Fault.VFT ~k:2 ~f:1 ~pool g)
+  in
+  let ok = verify_sampled ~trials:4 rng sel ~mode:Fault.VFT ~k:2 ~f:1 in
+  row "  |H| = %d/%d edges over %d iterations in %.3f s, %s"
+    sel.Selection.size (Graph.m g)
+    (Dk11.iterations ~f:1 ~n:(Graph.n g) ())
+    dt (verdict ok);
+  row
+    "  iterations draw from streams pre-split before the fan-out, so the \
+     selection is bit-identical at every jobs count"
+
 let with_temp suffix fn =
   let file = Filename.temp_file "ftspan_bench" suffix in
   Fun.protect
@@ -1083,6 +1151,8 @@ let smoke =
     ("smoke-greedy", smoke_greedy);
     ("smoke-distributed", smoke_distributed);
     ("greedy-parallel", greedy_parallel);
+    ("shard-build", shard_build);
+    ("dk11-parallel", dk11_parallel);
     ("synchronizer-lossy", smoke_synchronizer_lossy);
     ("congest-hotpath", congest_hotpath);
     ("io-load", io_load);

@@ -42,6 +42,7 @@ let graph_arg =
    through Cli_flags, so every front end parses and errors identically. *)
 let backend_arg = Cli_flags.backend_arg
 let jobs_arg = Cli_flags.jobs_arg
+let shard_arg = Cli_flags.shard_arg
 let resolve_jobs = Cli_flags.resolve_jobs
 let with_jobs = Cli_flags.with_jobs
 let metrics_arg = Cli_flags.metrics_arg
@@ -218,7 +219,8 @@ let save_selection sel file =
       List.iter (fun id -> output_string oc (string_of_int id ^ "\n")) (Selection.ids sel))
 
 let build_cmd =
-  let run seed k f mode algo jobs batch backend metrics trace stream file out dot =
+  let run seed k f mode algo jobs shard batch backend metrics trace stream file
+      out dot =
     match (resolve_jobs jobs, batch) with
     | Error _ as e, _ -> e
     | _, Some b when b < 1 ->
@@ -235,13 +237,19 @@ let build_cmd =
         with_jobs jobs @@ fun pool ->
         let rng = Rng.create ~seed in
         let params = { Spanner.k; f; mode } in
-        let options = Spanner.options ~batch ?pool () in
+        let options = Spanner.options ~batch ?pool ~shard () in
+        let clusters0 = Obs.Counter.value (Obs.counter "shard.clusters") in
+        let boundary0 = Obs.Counter.value (Obs.counter "shard.boundary_edges") in
         let t0 = Unix.gettimeofday () in
         let sel = Spanner.build ~rng ~algorithm:algo ~options params g in
         let dt = Unix.gettimeofday () -. t0 in
         let summary = Spanner.summarize ~algorithm:algo params sel in
         Printf.printf "%s\n" (Format.asprintf "%a" Spanner.pp_summary summary);
         Printf.printf "build time: %.3f s\n" dt;
+        if shard then
+          Printf.printf "shard: %d clusters, %d boundary edges kept\n"
+            (Obs.Counter.value (Obs.counter "shard.clusters") - clusters0)
+            (Obs.Counter.value (Obs.counter "shard.boundary_edges") - boundary0);
         Option.iter
           (fun file ->
             save_selection sel file;
@@ -263,8 +271,8 @@ let build_cmd =
     Term.(
       term_result
         (const run $ seed_arg $ k_arg $ f_arg $ mode_arg $ algo_arg $ jobs_arg
-       $ batch_arg $ backend_arg $ metrics_arg $ trace_arg $ stream_arg
-       $ graph_arg $ spanner_out_arg $ dot_out_arg))
+       $ shard_arg $ batch_arg $ backend_arg $ metrics_arg $ trace_arg
+       $ stream_arg $ graph_arg $ spanner_out_arg $ dot_out_arg))
   in
   Cmd.v (Cmd.info "build" ~doc:"Construct a fault-tolerant spanner.") term
 

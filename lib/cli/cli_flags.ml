@@ -33,6 +33,19 @@ let with_jobs jobs f =
   if jobs = 1 then f None
   else Exec.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
 
+(* ------------------------------ shard ------------------------------ *)
+
+let shard_arg =
+  let doc =
+    "Decomposition-sharded build (the paper's Theorem 11 run natively): \
+     sample an O(log n) padded partition, build each cluster's spanner \
+     on its own $(b,--jobs) pool worker, union the selections and keep \
+     the boundary edges.  Trades an O(log n) size factor for \
+     cluster-level parallelism; the selection is bit-identical at every \
+     $(b,--jobs) count and replays from $(b,--seed)."
+  in
+  Arg.(value & flag & info [ "shard" ] ~doc)
+
 (* ----------------------------- backend ----------------------------- *)
 
 let backend_arg =

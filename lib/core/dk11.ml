@@ -12,7 +12,26 @@ let iterations ?(c = 1.0) ~f ~n () =
     max 1 (int_of_float (ceil j))
   end
 
-let build rng ~mode ~k ~f ?(c = 1.0) ?algo g =
+(* One reduction iteration: sample the participating subgraph from [rng],
+   run [algo] on it, OR the kept edges (as parent ids) into [union]. *)
+let iterate rng ~mode ~p ~algo g union =
+  let n = Graph.n g in
+  let sub =
+    match mode with
+    | Fault.VFT ->
+        let keep = Array.init n (fun _ -> Rng.bernoulli rng ~p) in
+        Subgraph.induced_mask g keep
+    | Fault.EFT ->
+        let keep = Array.init (Graph.m g) (fun _ -> Rng.bernoulli rng ~p) in
+        Subgraph.of_edge_subset g keep
+  in
+  let sel = algo rng sub.Subgraph.graph in
+  Array.iteri
+    (fun sid chosen ->
+      if chosen then union.(sub.Subgraph.to_parent_edge.(sid)) <- true)
+    sel.Selection.selected
+
+let build rng ~mode ~k ~f ?(c = 1.0) ?algo ?pool g =
   if k < 1 then invalid_arg "Dk11.build: k must be >= 1";
   if f < 0 then invalid_arg "Dk11.build: f must be >= 0";
   let algo = match algo with Some a -> a | None -> fun rng g -> Baswana_sen.build rng ~k g in
@@ -21,22 +40,35 @@ let build rng ~mode ~k ~f ?(c = 1.0) ?algo g =
   else begin
     let j = iterations ~c ~f ~n () in
     let p = 1. /. float_of_int (f + 1) in
-    let union = Array.make (Graph.m g) false in
-    for _iter = 1 to j do
-      let sub =
-        match mode with
-        | Fault.VFT ->
-            let keep = Array.init n (fun _ -> Rng.bernoulli rng ~p) in
-            Subgraph.induced_mask g keep
-        | Fault.EFT ->
-            let keep = Array.init (Graph.m g) (fun _ -> Rng.bernoulli rng ~p) in
-            Subgraph.of_edge_subset g keep
-      in
-      let sel = algo rng sub.Subgraph.graph in
-      Array.iteri
-        (fun sid chosen ->
-          if chosen then union.(sub.Subgraph.to_parent_edge.(sid)) <- true)
-        sel.Selection.selected
-    done;
-    Selection.of_mask g union
+    match pool with
+    | None ->
+        (* The historical sequential path: every iteration draws from the
+           caller's stream in turn. *)
+        let union = Array.make (Graph.m g) false in
+        for _iter = 1 to j do
+          iterate rng ~mode ~p ~algo g union
+        done;
+        Selection.of_mask g union
+    | Some pool ->
+        (* Parallel: iterations are independent, so each gets a stream
+           pre-split from [rng] (sequentially, before the fan-out) and a
+           worker ORs into its own mask.  The union of masks is the same
+           edge set whichever worker ran which iteration, so the
+           selection is bit-identical at every pool size — though not to
+           the unpooled path, whose iterations share one stream. *)
+        let streams = Array.init j (fun _ -> Rng.split rng) in
+        let masks =
+          Array.init (Exec.Pool.size pool) (fun _ ->
+              Array.make (Graph.m g) false)
+        in
+        Exec.parallel_for ~chunk:1 pool ~lo:0 ~hi:j (fun ~worker lo hi ->
+            let mask = masks.(worker) in
+            for iter = lo to hi - 1 do
+              iterate streams.(iter) ~mode ~p ~algo g mask
+            done);
+        let union = Array.make (Graph.m g) false in
+        Array.iter
+          (Array.iteri (fun id b -> if b then union.(id) <- true))
+          masks;
+        Selection.of_mask g union
   end

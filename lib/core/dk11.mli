@@ -36,9 +36,17 @@ type algo = Rng.t -> Graph.t -> Selection.t
     [max 1 (ceil (c * e * (f+1)^3 * ln n))] (1 when [f = 0]). *)
 val iterations : ?c:float -> f:int -> n:int -> unit -> int
 
-(** [build rng ~mode ~k ~f ?c ?algo g] runs the reduction.  [algo] defaults
-    to Baswana-Sen with parameter [k]; [f = 0] degenerates to a single run
-    of [algo] on [g]. *)
+(** [build rng ~mode ~k ~f ?c ?algo ?pool g] runs the reduction.  [algo]
+    defaults to Baswana-Sen with parameter [k]; [f = 0] degenerates to a
+    single run of [algo] on [g].
+
+    With a [pool], the [J] independent iterations fan out over the
+    workers as [parallel_for] items: each iteration samples from its own
+    stream, pre-split from [rng] before the fan-out, and the per-worker
+    keep masks are ORed afterwards, so the selection is {e bit-identical
+    at every pool size} (including a 1-domain pool).  It is {e not}
+    identical to the unpooled path, whose iterations draw from one shared
+    stream — both are equally valid samples of the same reduction. *)
 val build :
   Rng.t ->
   mode:Fault.mode ->
@@ -46,5 +54,6 @@ val build :
   f:int ->
   ?c:float ->
   ?algo:algo ->
+  ?pool:Exec.Pool.t ->
   Graph.t ->
   Selection.t

@@ -1,9 +1,10 @@
 (** Dynamic fault-tolerant spanner service: arbitrary-order updates,
     deletion repair, and a concurrent batched query plane.
 
-    {!Incremental} exploits that Theorem 8's size bound is order-free and
-    that a NO verdict of Algorithm 2 is monotone under edge additions —
-    but it only ever {e grows}.  This module is the full service shape:
+    Insertion-only maintenance exploits that Theorem 8's size bound is
+    order-free and that a NO verdict of Algorithm 2 is monotone under
+    edge additions — but it only ever {e grows}.  This module is the
+    full service shape:
     a {!t} handle absorbs edge insertions in {e any} order, edge and
     vertex {e deletions} with targeted local repair, and answers batches
     of fault-masked distance queries [d_{H\F}(u,v)] between update

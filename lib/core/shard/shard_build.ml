@@ -1,0 +1,141 @@
+type engine = Polynomial | Exponential
+
+type t = {
+  selection : Selection.t;
+  partition : Shard_partition.t;
+  clusters : int;
+  boundary_edges : int;
+}
+
+let m_clusters = Obs.counter "shard.clusters"
+let m_boundary = Obs.counter "shard.boundary_edges"
+let h_cluster_wall = Obs.histogram_log "shard.cluster_wall"
+
+(* One cluster work item: the parent-id vertex set (ascending) and the
+   interior edges in parent insertion order, pre-extracted so workers
+   never scan the full edge list.  [edges] rows are
+   [(parent_u, parent_v, weight, parent_edge_id)]. *)
+type task = {
+  verts : int array;
+  edges : (int * int * float * int) array;
+}
+
+(* All cluster work items, partition by partition, clusters in centre
+   order — a fixed sequence, so results indexed by task id are
+   schedule-independent.  Extraction is one edge scan per partition
+   (not per cluster). *)
+let tasks_of g part =
+  let n = Graph.n g in
+  let task_of_center = Array.make n (-1) in
+  let all = ref [] in
+  Array.iter
+    (fun c ->
+      Array.fill task_of_center 0 n (-1);
+      let groups =
+        List.filter
+          (fun (_, ms) -> match ms with _ :: _ :: _ -> true | _ -> false)
+          (Shard_partition.members c)
+      in
+      List.iteri (fun i (ctr, _) -> task_of_center.(ctr) <- i) groups;
+      let bufs = Array.make (max 1 (List.length groups)) [] in
+      Graph.iter_edges g (fun e ->
+          let cu = c.Shard_partition.center_of.(e.Graph.u) in
+          if cu = c.Shard_partition.center_of.(e.Graph.v) then begin
+            let i = task_of_center.(cu) in
+            if i >= 0 then
+              bufs.(i) <- (e.Graph.u, e.Graph.v, e.Graph.w, e.Graph.id) :: bufs.(i)
+          end);
+      List.iteri
+        (fun i (_, ms) ->
+          all :=
+            {
+              verts = Array.of_list ms;
+              edges = Array.of_list (List.rev bufs.(i));
+            }
+            :: !all)
+        groups)
+    part.Shard_partition.partitions;
+  Array.of_list (List.rev !all)
+
+(* Build one cluster's induced subgraph and run the greedy over it,
+   returning the kept parent edge ids (ascending).  [local] is the
+   worker's parent-to-local vertex map, restored to -1 before return. *)
+let run_cluster ~backend ~engine ~mode ~k ~f ~ws ~local task =
+  let t0 = Obs.now_s () in
+  Array.iteri (fun i v -> local.(v) <- i) task.verts;
+  let sub = Graph.create ~backend (Array.length task.verts) in
+  let parent_edge = Array.make (Array.length task.edges) (-1) in
+  Array.iter
+    (fun (u, v, w, pid) ->
+      parent_edge.(Graph.add_edge sub local.(u) local.(v) ~w) <- pid)
+    task.edges;
+  Array.iter (fun v -> local.(v) <- -1) task.verts;
+  let sel =
+    match engine with
+    | Exponential -> Exp_greedy.build ~mode ~k ~f sub
+    | Polynomial ->
+        let t = (2 * k) - 1 in
+        let decide h edges decisions lo hi =
+          for i = lo to hi - 1 do
+            let e = edges.(i) in
+            match
+              Lbc.decide ~ws ~edge:e.Graph.id ~mode h ~u:e.Graph.u ~v:e.Graph.v
+                ~t ~alpha:f
+            with
+            | Lbc.Yes _ -> decisions.(i) <- Engine.Keep { cut = [] }
+            | Lbc.No _ -> ()
+          done
+        in
+        (Engine.run ~caller:"Shard_build.build" ~trace:false ~decide sub)
+          .Engine.selection
+  in
+  let kept = ref [] in
+  for sid = Graph.m sub - 1 downto 0 do
+    if sel.Selection.selected.(sid) then kept := parent_edge.(sid) :: !kept
+  done;
+  Obs.Histogram.observe h_cluster_wall (Obs.now_s () -. t0);
+  !kept
+
+let build ?rng ?(engine = Polynomial) ?beta ?partitions ?pool ~mode ~k ~f g =
+  if k < 1 then invalid_arg "Shard_build.build: k must be >= 1";
+  if f < 0 then invalid_arg "Shard_build.build: f must be >= 0";
+  let rng = match rng with Some r -> r | None -> Rng.create ~seed:0x5eed in
+  Obs.with_span "shard_build" @@ fun () ->
+  let part = Shard_partition.run rng ?beta ?partitions g in
+  let tasks = tasks_of g part in
+  let results = Array.make (Array.length tasks) [] in
+  let backend = Graph.backend g in
+  let run_all pool =
+    let scratch =
+      Exec.Worker_local.create pool (fun _ ->
+          (Lbc.Workspace.create (), Array.make (Graph.n g) (-1)))
+    in
+    Exec.parallel_for ~chunk:1 pool ~lo:0 ~hi:(Array.length tasks)
+      (fun ~worker lo hi ->
+        let ws, local = Exec.Worker_local.get scratch ~worker in
+        for i = lo to hi - 1 do
+          results.(i) <-
+            run_cluster ~backend ~engine ~mode ~k ~f ~ws ~local tasks.(i)
+        done)
+  in
+  (match pool with
+  | Some pool -> run_all pool
+  | None -> Exec.Pool.with_pool ~domains:1 run_all);
+  let union = Array.make (Graph.m g) false in
+  Array.iter (List.iter (fun id -> union.(id) <- true)) results;
+  let boundary = ref 0 in
+  Array.iteri
+    (fun id covered ->
+      if not covered then begin
+        union.(id) <- true;
+        incr boundary
+      end)
+    part.Shard_partition.covered;
+  Obs.Counter.add m_clusters (Array.length tasks);
+  Obs.Counter.add m_boundary !boundary;
+  {
+    selection = Selection.of_mask g union;
+    partition = part;
+    clusters = Array.length tasks;
+    boundary_edges = !boundary;
+  }

@@ -1,0 +1,57 @@
+(** Decomposition-sharded spanner construction on the {!Exec} pool.
+
+    The paper's Theorem 11 pipeline — padded partition, per-cluster
+    greedy, union — run natively on shared memory: {!Shard_partition}
+    samples [O(log n)] random-shift partitions, every cluster with at
+    least two members becomes one work item, and {!Exec.parallel_for}
+    hands each item to a pool worker that builds the cluster's induced
+    subgraph and runs the pluggable greedy over it with a private
+    {!Lbc.Workspace}.  The per-cluster selections are unioned with the
+    {e boundary edges} (edges interior to no cluster of any partition;
+    w.h.p. a vanishing fraction) force-kept, which makes the result an
+    unconditionally valid f-FT (2k-1)-spanner: a surviving covered edge
+    has its detour inside the cluster that contains it, and an uncovered
+    edge is its own detour.  The price is the paper's O(log n) size
+    factor — every partition may keep its own copy of a detour.
+
+    {b Determinism contract.}  The partition is sampled sequentially from
+    the caller's [rng]; cluster work items are fixed before the fan-out
+    and workers write their selections {e by item index}; the union runs
+    in item order on the caller.  The output is therefore bit-identical
+    at any pool size ({e and} across the int/int32 storage backends), and
+    one seed replays one build.
+
+    Telemetry: [shard.clusters] (work items executed), the count of
+    force-kept [shard.boundary_edges] (both gated by the bench regression
+    harness), and a [shard.cluster_wall] log-histogram of per-cluster
+    build seconds, all inside a [shard_build] span. *)
+
+(** Per-cluster greedy: {!Poly_greedy}'s LBC oracle (the default) or the
+    exponential-time optimal-size greedy ({!Exp_greedy} — tiny clusters
+    only). *)
+type engine = Polynomial | Exponential
+
+type t = {
+  selection : Selection.t;
+  partition : Shard_partition.t;
+  clusters : int;  (** cluster work items executed across all partitions *)
+  boundary_edges : int;  (** uncovered edges force-kept into the union *)
+}
+
+(** [build ?rng ?engine ?beta ?partitions ?pool ~mode ~k ~f g] builds the
+    sharded spanner.  [rng] (default seed [0x5eed]) drives only the
+    decomposition; [beta]/[partitions] pass through to
+    {!Shard_partition.run}.  [pool = None] runs the same code on a
+    private single-domain pool — same output, no parallelism.  Raises
+    [Invalid_argument] if [k < 1] or [f < 0]. *)
+val build :
+  ?rng:Rng.t ->
+  ?engine:engine ->
+  ?beta:float ->
+  ?partitions:int ->
+  ?pool:Exec.Pool.t ->
+  mode:Fault.mode ->
+  k:int ->
+  f:int ->
+  Graph.t ->
+  t

@@ -86,6 +86,18 @@ cmp -s "$TMP/sel-seq.txt" "$TMP/sel-par.txt" \
 "$BIN" build -k 2 -f 1 -j 2 --batch 0 "$TMP/g.graph" >/dev/null 2>&1 \
   && fail "batch=0 accepted"
 
+# --shard: the decomposition-sharded build — valid output, shard stats
+# on stdout, bit-identical selection at --jobs 4, and rejected by
+# subcommands that have no sharded path (dynamic)
+"$BIN" build --seed 7 -k 2 -f 1 --shard "$TMP/g.graph" -o "$TMP/shard.txt" \
+  | grep -q "^shard: " || fail "build --shard must print shard stats"
+"$BIN" verify -k 2 -f 1 --trials 40 "$TMP/g.graph" "$TMP/shard.txt" \
+  | grep -q "OK" || fail "verify sharded selection"
+"$BIN" build --seed 7 -k 2 -f 1 --shard --jobs 4 "$TMP/g.graph" \
+  -o "$TMP/shard-j4.txt" >/dev/null || fail "build --shard --jobs 4"
+cmp -s "$TMP/shard.txt" "$TMP/shard-j4.txt" \
+  || fail "--shard selection must be bit-identical at --jobs 4"
+
 # dot export
 "$BIN" build -k 2 -f 1 "$TMP/s.graph" --dot "$TMP/s.dot" >/dev/null || fail "build --dot"
 grep -q "graph ftspan" "$TMP/s.dot" || fail "dot output malformed"
@@ -115,6 +127,9 @@ cmp -s "$TMP/dyn1.cmp" "$TMP/dyn2.out" \
 printf 'bogus\n' > "$TMP/dyn-bad.ops"
 "$BIN" dynamic "$TMP/dyn-bad.ops" >/dev/null 2>&1
 [ $? -eq 2 ] || fail "bad dynamic script must exit 2"
+# --shard has no dynamic path: cmdliner must reject the unknown flag
+"$BIN" dynamic -k 2 -f 1 --shard "$TMP/dyn.ops" >/dev/null 2>&1 \
+  && fail "dynamic must reject --shard"
 
 # oracle, local, congest
 "$BIN" oracle -k 2 --queries 200 "$TMP/g.graph" | grep -q "guarantee 3" \

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Shard gate (dune build @shard-check; chained into @refactor-check):
+# the decomposition-sharded build against the sequential build on the
+# same graph — the sharded selection must verify as a valid f-FT
+# spanner, must stay within the O(log n) size factor of the sequential
+# selection, and must be byte-identical at --jobs 1/2/4 and across the
+# int/int32 storage backends; dk11 --shard must be byte-identical at
+# every jobs count too.
+#   $1 = ftspan CLI binary
+set -u
+BIN="$1"
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+fail() { echo "shard_check FAILED: $1" >&2; exit 1; }
+
+"$BIN" generate --family gnp -n 120 -p 0.08 --connect --seed 9 -o "$TMP/g.graph" \
+  > /dev/null || fail "graph generation"
+
+# ---- selection validity: shard build, then ftspan verify ------------
+"$BIN" build --seed 7 -k 2 -f 1 --shard "$TMP/g.graph" -o "$TMP/shard.sel" \
+  > "$TMP/shard.out" || fail "sharded build"
+grep -q "^shard: " "$TMP/shard.out" || fail "sharded build must print shard stats"
+"$BIN" verify -k 2 -f 1 --trials 60 "$TMP/g.graph" "$TMP/shard.sel" \
+  > "$TMP/verify.out" || fail "sharded selection does not verify"
+
+# ---- size vs sequential: within the log-n factor --------------------
+"$BIN" build --seed 7 -k 2 -f 1 "$TMP/g.graph" -o "$TMP/seq.sel" \
+  > /dev/null || fail "sequential build"
+shard_size=$(wc -l < "$TMP/shard.sel")
+seq_size=$(wc -l < "$TMP/seq.sel")
+# ceil(log2 120) = 7
+[ "$shard_size" -le $((seq_size * 7)) ] \
+  || fail "sharded size $shard_size exceeds 7x sequential $seq_size"
+
+# ---- jobs determinism: byte-identical selections --------------------
+for j in 2 4; do
+  "$BIN" build --seed 7 -k 2 -f 1 --shard -j "$j" "$TMP/g.graph" \
+    -o "$TMP/shard-j$j.sel" > /dev/null || fail "sharded build at --jobs $j"
+  cmp -s "$TMP/shard.sel" "$TMP/shard-j$j.sel" \
+    || fail "sharded selection differs at --jobs $j"
+done
+
+# ---- backend determinism: int vs int32 ------------------------------
+"$BIN" build --seed 7 -k 2 -f 1 --shard --backend int32 "$TMP/g.graph" \
+  -o "$TMP/shard-i32.sel" > /dev/null || fail "sharded build on int32"
+cmp -s "$TMP/shard.sel" "$TMP/shard-i32.sel" \
+  || fail "sharded selection differs across backends"
+
+# ---- dk11 --shard: pooled path deterministic at every jobs count ----
+"$BIN" build --seed 7 -k 2 -f 1 --algo dk11 --shard "$TMP/g.graph" \
+  -o "$TMP/dk.sel" > /dev/null || fail "dk11 sharded build"
+for j in 2 4; do
+  "$BIN" build --seed 7 -k 2 -f 1 --algo dk11 --shard -j "$j" "$TMP/g.graph" \
+    -o "$TMP/dk-j$j.sel" > /dev/null || fail "dk11 sharded build at --jobs $j"
+  cmp -s "$TMP/dk.sel" "$TMP/dk-j$j.sel" \
+    || fail "dk11 sharded selection differs at --jobs $j"
+done
+
+echo "shard_check OK"

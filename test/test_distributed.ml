@@ -177,6 +177,90 @@ let test_decomposition_beta_tradeoff () =
   done;
   checkb "beta=0.08 cuts fewer edges than beta=0.7" true (!many >= 2)
 
+let test_decomposition_assigns_exactly_once () =
+  (* Every vertex lands in exactly one cluster of every partition — over
+     several seeds, not just one lucky draw. *)
+  let g = Generators.connected_gnp (rng ()) ~n:45 ~p:0.12 in
+  List.iter
+    (fun seed ->
+      let d = Decomposition.run (Rng.create ~seed) g in
+      Array.iteri
+        (fun p c ->
+          let seen = Array.make (Graph.n g) 0 in
+          List.iter
+            (fun (_, members) ->
+              List.iter (fun v -> seen.(v) <- seen.(v) + 1) members)
+            (Decomposition.cluster_members c);
+          Array.iteri
+            (fun v count ->
+              checki
+                (Printf.sprintf "seed %d partition %d vertex %d" seed p v)
+                1 count)
+            seen)
+        d.Decomposition.partitions)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_decomposition_edge_cases () =
+  (* Singleton graph: one cluster, itself, depth 0, full coverage. *)
+  let one = Graph.create 1 in
+  let d1 = Decomposition.run (rng ()) one in
+  Array.iter
+    (fun c ->
+      checki "singleton is its own center" 0 c.Decomposition.center_of.(0);
+      checki "singleton parent" (-1) c.Decomposition.parent_of.(0);
+      checki "singleton depth" 0 c.Decomposition.depth_of.(0))
+    d1.Decomposition.partitions;
+  checkb "edgeless coverage is 1.0" true (Decomposition.coverage d1 = 1.0);
+  (* Edgeless graph: every cluster is a singleton in every partition. *)
+  let iso = Graph.create 4 in
+  let d4 = Decomposition.run (rng ()) iso in
+  Array.iter
+    (fun c ->
+      let members = Decomposition.cluster_members c in
+      checki "four singleton clusters" 4 (List.length members);
+      List.iter
+        (fun (ctr, ms) -> checki (Printf.sprintf "cluster %d" ctr) 1 (List.length ms))
+        members)
+    d4.Decomposition.partitions;
+  (* Parameter validation. *)
+  List.iter
+    (fun beta ->
+      try
+        ignore (Decomposition.run (rng ()) ~beta iso);
+        Alcotest.fail "beta outside (0,1) should fail"
+      with Invalid_argument _ -> ())
+    [ 0.0; 1.0 ];
+  try
+    ignore (Decomposition.run (rng ()) ~partitions:0 iso);
+    Alcotest.fail "partitions=0 should fail"
+  with Invalid_argument _ -> ()
+
+let test_decomposition_padding_probability () =
+  (* Theorem 11.4 quantitatively: a single partition pads a constant
+     fraction of edges, and the default ell = ~2 log2 n stack pushes the
+     uncovered fraction to ~0 on every seed. *)
+  let g = Generators.connected_gnp (rng ()) ~n:70 ~p:0.08 in
+  let single = ref 0.0 and stacked = ref 0.0 in
+  let seeds = [ 11; 22; 33; 44; 55 ] in
+  List.iter
+    (fun seed ->
+      let d1 = Decomposition.run (Rng.create ~seed) ~partitions:1 g in
+      single := !single +. Decomposition.coverage d1;
+      let dl = Decomposition.run (Rng.create ~seed) g in
+      stacked := !stacked +. Decomposition.coverage dl)
+    seeds;
+  let nseeds = float_of_int (List.length seeds) in
+  checkb
+    (Printf.sprintf "single partition pads a constant fraction (%.3f >= 0.3)"
+       (!single /. nseeds))
+    true
+    (!single /. nseeds >= 0.3);
+  checkb
+    (Printf.sprintf "default stack pads almost everything (%.3f >= 0.99)"
+       (!stacked /. nseeds))
+    true
+    (!stacked /. nseeds >= 0.99)
+
 (* -------------------------- LOCAL spanner ---------------------------- *)
 
 let test_local_spanner_valid_sampled () =
@@ -424,6 +508,9 @@ let () =
           Alcotest.test_case "cluster diameter" `Quick test_decomposition_cluster_diameter_logarithmic;
           Alcotest.test_case "members" `Quick test_decomposition_members_consistent;
           Alcotest.test_case "beta tradeoff" `Quick test_decomposition_beta_tradeoff;
+          Alcotest.test_case "assigns exactly once" `Quick test_decomposition_assigns_exactly_once;
+          Alcotest.test_case "edge cases" `Quick test_decomposition_edge_cases;
+          Alcotest.test_case "padding probability" `Quick test_decomposition_padding_probability;
         ] );
       ( "local spanner (Thm 12)",
         [

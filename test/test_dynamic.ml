@@ -330,18 +330,26 @@ let test_query_respects_stretch_bound () =
   done;
   checkb "all faulted distances within 3x" true !ok
 
-(* ------------------------- alias equivalence ------------------------- *)
+(* ---------------------- insertion-stream replay ---------------------- *)
 
-let test_incremental_alias_equivalence () =
+(* The coverage the removed Incremental alias test carried: feeding the
+   same edge stream one insert at a time is deterministic and agrees
+   with a single batched apply. *)
+let test_insert_stream_equivalence () =
   let r = Rng.create ~seed:34 in
   let g = Generators.connected_gnp r ~n:25 ~p:0.3 in
-  let inc = (Incremental.create [@alert "-deprecated"]) ~mode:Fault.VFT ~k:2 ~f:1 ~n:25 in
-  let d = dyn ~mode:Fault.VFT ~k:2 ~f:1 25 in
+  let one = dyn ~mode:Fault.VFT ~k:2 ~f:1 25 in
+  let batched = dyn ~mode:Fault.VFT ~k:2 ~f:1 25 in
+  let ops = ref [] in
   Graph.iter_edges g (fun e ->
-      let a = (Incremental.insert [@alert "-deprecated"]) inc e.Graph.u e.Graph.v ~w:e.Graph.w in
-      let s = Dynamic.apply d [ Dynamic.Insert { u = e.Graph.u; v = e.Graph.v; w = e.Graph.w } ] in
-      checkb "per-edge verdicts agree" a (s.Dynamic.kept = 1));
-  checki "sizes agree" (Dynamic.size d) ((Incremental.size [@alert "-deprecated"]) inc)
+      let op = Dynamic.Insert { u = e.Graph.u; v = e.Graph.v; w = e.Graph.w } in
+      ops := op :: !ops;
+      ignore (Dynamic.apply one [ op ]));
+  ignore (Dynamic.apply batched (List.rev !ops));
+  checki "sizes agree" (Dynamic.size batched) (Dynamic.size one);
+  check (Alcotest.list Alcotest.int) "selections agree"
+    (Selection.ids (Dynamic.snapshot batched))
+    (Selection.ids (Dynamic.snapshot one))
 
 let () =
   Alcotest.run "dynamic"
@@ -353,7 +361,7 @@ let () =
           Alcotest.test_case "delete vertex" `Quick test_delete_vertex_retires;
           Alcotest.test_case "epoch and snapshot" `Quick test_epoch_and_snapshot_cache;
           Alcotest.test_case "error surface" `Quick test_error_surface;
-          Alcotest.test_case "alias equivalence" `Quick test_incremental_alias_equivalence;
+          Alcotest.test_case "insert stream equivalence" `Quick test_insert_stream_equivalence;
         ] );
       ( "repair",
         [
